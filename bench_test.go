@@ -1,0 +1,227 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (mapping per DESIGN.md §5):
+//
+//	Tables 3/4 (toy examples)      → BenchmarkToyExample1, BenchmarkToyExample2
+//	Figure 5 + Figure 11           → BenchmarkSynthetic/<alg>
+//	Figure 6                       → BenchmarkAzureTraceGeneration
+//	Figures 7, 8, 9, 10, 12        → BenchmarkAzure/<subset>/<alg>
+//	Equation 1 / §3.2 energy model → BenchmarkEquation1, BenchmarkFlowPower
+//	Scheduling hot path            → BenchmarkScheduleOne/<alg>
+//	Ablations (DESIGN.md §6)       → BenchmarkAblation*
+//
+// Absolute times are this machine's, not the paper's AMD Ryzen 2700X
+// testbed (Table 5); the orderings are what reproduce.
+package risa
+
+import (
+	"testing"
+	"time"
+
+	"risa/internal/experiments"
+	"risa/internal/network"
+	"risa/internal/optics"
+	"risa/internal/power"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// BenchmarkScheduleOne measures the per-VM scheduling decision on a
+// half-loaded cluster — the hot path of Figures 11 and 12.
+func BenchmarkScheduleOne(b *testing.B) {
+	for _, alg := range experiments.Algorithms {
+		b.Run(alg, func(b *testing.B) {
+			st, err := experiments.DefaultSetup().NewState()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sch, err := experiments.NewScheduler(alg, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-load the cluster to a realistic operating point.
+			for i := 0; i < 500; i++ {
+				vm := workload.VM{ID: i, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+				if _, err := sch.Schedule(vm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			vm := workload.VM{ID: 10_000, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := sch.Schedule(vm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				sch.Release(a)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkSynthetic is one full §5.1 synthetic-workload simulation per
+// algorithm: its per-iteration time is Figure 11, its inter-rack metric
+// Figure 5.
+func BenchmarkSynthetic(b *testing.B) {
+	setup := experiments.DefaultSetup()
+	tr, err := setup.SyntheticTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range experiments.Algorithms {
+		b.Run(alg, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := setup.RunOne(alg, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.InterRack), "inter-rack")
+				b.ReportMetric(float64(res.SchedulingTime.Microseconds()), "sched-µs")
+			}
+		})
+	}
+}
+
+// BenchmarkAzure is one full §5.2 practical-workload simulation per
+// subset and algorithm: Figures 7 (inter-rack %), 9 (peak kW),
+// 10 (latency) are reported as custom metrics and Figure 12 is the
+// per-iteration time.
+func BenchmarkAzure(b *testing.B) {
+	setup := experiments.AzureSetup()
+	for _, subset := range workload.Subsets() {
+		tr, err := setup.AzureTrace(subset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(subset.String(), func(b *testing.B) {
+			for _, alg := range experiments.Algorithms {
+				b.Run(alg, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						res, err := setup.RunOne(alg, tr)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportMetric(res.InterRackPct, "inter-rack-%")
+						b.ReportMetric(res.PeakPowerW/1000, "peak-kW")
+						b.ReportMetric(float64(res.MeanCPURAMLatency.Nanoseconds()), "cpu-ram-ns")
+						b.ReportMetric(float64(res.SchedulingTime.Microseconds()), "sched-µs")
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAzureTraceGeneration measures the Figure 6 workload generator.
+func BenchmarkAzureTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.AzureLike(workload.AzureConfig{
+			Subset: workload.Azure7500, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkToyExample1 replays Table 3's scenario (NULB + RISA).
+func BenchmarkToyExample1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunToy1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkToyExample2 replays Table 4's packing trace (RISA + RISA-BF).
+func BenchmarkToyExample2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunToy2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEquation1 measures the §3.2 per-VM switch energy model.
+func BenchmarkEquation1(b *testing.B) {
+	cfg := optics.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.SwitchEnergy(256, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlowPower measures the steady-state flow power computation the
+// simulator performs on every arrival and departure.
+func BenchmarkFlowPower(b *testing.B) {
+	cl, err := topology.New(topology.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fab, err := network.NewFabric(cl, network.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := power.NewModel(optics.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fl, err := fab.AllocateFlow(cl.Rack(0).BoxesOf(units.CPU)[0],
+		cl.Rack(1).BoxesOf(units.RAM)[0], 20, network.FirstFit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = model.FlowPower(fl)
+	}
+}
+
+// BenchmarkAblationPacking measures the packing-policy ablation
+// (DESIGN.md §6) — one synthetic run per policy per iteration.
+func BenchmarkAblationPacking(b *testing.B) {
+	setup := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := setup.RunPackingAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRoundRobin measures the round-robin ablation.
+func BenchmarkAblationRoundRobin(b *testing.B) {
+	setup := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := setup.RunRoundRobinAblation(900); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocateVM measures the shared compute+network placement
+// transaction in isolation.
+func BenchmarkAllocateVM(b *testing.B) {
+	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rack := st.Cluster.Rack(0)
+	boxes := sched.BoxTriple{
+		units.CPU:     rack.BoxesOf(units.CPU)[0],
+		units.RAM:     rack.BoxesOf(units.RAM)[0],
+		units.Storage: rack.BoxesOf(units.Storage)[0],
+	}
+	vm := workload.VM{ID: 0, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := st.AllocateVM(vm, boxes, network.FirstFit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.ReleaseVM(a)
+	}
+}

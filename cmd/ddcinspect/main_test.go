@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	"risa/internal/network"
+	"risa/internal/optics"
+	"risa/internal/topology"
+)
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(topology.DefaultConfig(), network.DefaultConfig(), optics.DefaultConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunRejectsBadTopology(t *testing.T) {
+	bad := topology.DefaultConfig()
+	bad.Racks = 0
+	if err := run(bad, network.DefaultConfig(), optics.DefaultConfig()); err == nil {
+		t.Error("invalid topology should fail")
+	}
+}
+
+func TestRunRejectsBadNetwork(t *testing.T) {
+	bad := network.DefaultConfig()
+	bad.BoxUplinks = -1
+	if err := run(topology.DefaultConfig(), bad, optics.DefaultConfig()); err == nil {
+		t.Error("invalid fabric should fail")
+	}
+}
+
+func TestRunRejectsBadOptics(t *testing.T) {
+	bad := optics.DefaultConfig()
+	bad.BoxPorts = 63 // not a power of two
+	if err := run(topology.DefaultConfig(), network.DefaultConfig(), bad); err == nil {
+		t.Error("invalid optics should fail")
+	}
+}

@@ -1,0 +1,251 @@
+// Command risasim reproduces the tables and figures of the RISA paper
+// (Kabir et al., SC-W 2023) on the simulated disaggregated datacenter.
+//
+// Usage:
+//
+//	risasim -exp all                 # every experiment
+//	risasim -exp fig5                # one figure: toy1 toy2 fig5..fig12
+//	risasim -exp fig9 -seed 7        # different workload seed
+//	risasim -exp fig5 -uplinks 4     # fabric provisioning ablation
+//
+// The experiment ↔ paper mapping lives in DESIGN.md §5; measured-vs-paper
+// numbers are recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"risa/internal/experiments"
+	"risa/internal/report"
+	"risa/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: toy1, toy2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, pool, seeds, resilience, defrag, stranding, queue, threetier, ablations, azure, all")
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	uplinks := flag.Int("uplinks", 0, "override box uplinks per box (0 = calibrated default)")
+	jsonPath := flag.String("json", "", "also archive every run as a JSON report at this path")
+	flag.Parse()
+
+	setup := experiments.DefaultSetup()
+	setup.Seed = *seed
+	if *uplinks > 0 {
+		setup.Network.BoxUplinks = *uplinks
+	}
+
+	if *jsonPath != "" {
+		archive = report.NewDocument(*seed)
+	}
+	if err := run(setup, *exp); err != nil {
+		fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
+		os.Exit(1)
+	}
+	if archive != nil {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := archive.Write(f); err != nil {
+			fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("JSON report written to %s (%d runs)\n", *jsonPath, len(archive.Runs))
+	}
+}
+
+// archive collects every simulation result of the invocation when -json
+// is given.
+var archive *report.Document
+
+// record adds results to the archive if one is active.
+func record(results map[string]*sim.Result) {
+	if archive == nil {
+		return
+	}
+	for _, r := range results {
+		archive.Add(r)
+	}
+}
+
+func run(setup experiments.Setup, exp string) error {
+	needMatrix := map[string]bool{
+		"fig7": true, "fig8": true, "fig9": true, "fig10": true, "fig12": true,
+		"azure": true, "all": true,
+	}
+	var matrix *experiments.AzureMatrix
+	if needMatrix[exp] {
+		// The practical-workload figures run under the storage-heavy rack
+		// composition (see experiments.AzureSetup), keeping the caller's
+		// seed and fabric overrides.
+		azureSetup := experiments.AzureSetup()
+		azureSetup.Seed = setup.Seed
+		azureSetup.Network = setup.Network
+		var err error
+		matrix, err = azureSetup.RunAzureMatrix()
+		if err != nil {
+			return err
+		}
+		for _, perAlg := range matrix.Results {
+			record(perAlg)
+		}
+	}
+
+	show := func(name string) bool { return exp == name || exp == "all" || (exp == "azure" && needMatrix[name]) }
+
+	if show("toy1") {
+		out, err := experiments.RunToy1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if show("toy2") {
+		out, err := experiments.RunToy2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if show("fig5") {
+		f, err := setup.RunFig5()
+		if err != nil {
+			return err
+		}
+		record(f.Results)
+		fmt.Println(f.Render())
+	}
+	if show("fig6") {
+		f, err := setup.RunFig6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Render())
+	}
+	if show("fig7") {
+		fmt.Println(matrix.RenderFig7())
+	}
+	if show("fig8") {
+		fmt.Println(matrix.RenderFig8())
+	}
+	if show("fig9") {
+		fmt.Println(matrix.RenderFig9())
+	}
+	if show("fig10") {
+		fmt.Println(matrix.RenderFig10())
+	}
+	if show("fig11") {
+		f, err := setup.RunFig11()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Render())
+	}
+	if show("fig12") {
+		fmt.Println(matrix.RenderFig12())
+	}
+	if exp == "seeds" {
+		sweep, err := setup.RunSeedSweep([]int64{1, 2, 3, 4, 5})
+		if err != nil {
+			return err
+		}
+		fmt.Println(sweep.Render())
+	}
+	if exp == "threetier" || exp == "all" {
+		azureSetup := experiments.AzureSetup()
+		azureSetup.Seed = setup.Seed
+		azureSetup.Network = setup.Network
+		tt, err := azureSetup.RunThreeTier()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tt.Render())
+	}
+	if exp == "queue" || exp == "all" {
+		q, err := setup.RunQueueing()
+		if err != nil {
+			return err
+		}
+		fmt.Println(q.Render())
+	}
+	if exp == "stranding" || exp == "all" {
+		st, err := setup.RunStranding()
+		if err != nil {
+			return err
+		}
+		fmt.Println(st.Render())
+	}
+	if exp == "defrag" || exp == "all" {
+		azureSetup := experiments.AzureSetup()
+		azureSetup.Seed = setup.Seed
+		azureSetup.Network = setup.Network
+		d, err := azureSetup.RunDefrag(2000)
+		if err != nil {
+			return err
+		}
+		fmt.Println(d.Render())
+	}
+	if exp == "resilience" || exp == "all" {
+		azureSetup := experiments.AzureSetup()
+		azureSetup.Seed = setup.Seed
+		azureSetup.Network = setup.Network
+		r, err := azureSetup.RunResilience()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	}
+	if exp == "pool" || exp == "all" {
+		p, err := setup.RunPoolOccupancy()
+		if err != nil {
+			return err
+		}
+		fmt.Println(p.Render())
+	}
+	if exp == "ablations" || exp == "all" {
+		if err := runAblations(setup); err != nil {
+			return err
+		}
+	}
+	if !needMatrix[exp] {
+		switch exp {
+		case "toy1", "toy2", "fig5", "fig6", "fig11", "pool", "ablations", "seeds", "resilience", "defrag", "stranding", "queue", "threetier":
+		default:
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+	}
+	return nil
+}
+
+// runAblations executes the DESIGN.md §6 design-choice studies.
+func runAblations(setup experiments.Setup) error {
+	rr, err := setup.RunRoundRobinAblation(900)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rr.Render())
+	packing, err := setup.RunPackingAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Println(packing.Render())
+	sweep, err := setup.RunUplinkSweep([]int{2, 4, 8, 16})
+	if err != nil {
+		return err
+	}
+	fmt.Println(sweep.Render())
+	alpha, err := setup.RunAlphaSweep([]float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0})
+	if err != nil {
+		return err
+	}
+	fmt.Println(alpha.Render())
+	mix, err := setup.RunBoxMixAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Println(mix.Render())
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"risa/internal/experiments"
+)
+
+func quickSetup() experiments.Setup {
+	return experiments.DefaultSetup()
+}
+
+func TestRunToyExperiments(t *testing.T) {
+	for _, exp := range []string{"toy1", "toy2"} {
+		if err := run(quickSetup(), exp); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(quickSetup(), "fig99"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	if err := run(quickSetup(), "fig6"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthetic run")
+	}
+	if err := run(quickSetup(), "fig5"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordWithoutArchiveIsNoop(t *testing.T) {
+	archive = nil
+	record(nil) // must not panic
+}

@@ -1,0 +1,95 @@
+// Command workloadgen generates and characterizes the paper's workloads
+// as replayable CSV traces.
+//
+// Usage:
+//
+//	workloadgen -kind synthetic -out synthetic.csv
+//	workloadgen -kind azure-5000 -seed 7 -out azure5000.csv
+//	workloadgen -kind azure-3000 -characterize     # print Figure 6 histograms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"risa/internal/metrics"
+	"risa/internal/trace"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "synthetic", "workload: synthetic, azure-3000, azure-5000, azure-7500")
+	out := flag.String("out", "", "CSV output path (default stdout)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	characterize := flag.Bool("characterize", false, "print request histograms instead of CSV")
+	arrivals := flag.String("arrivals", "poisson", "synthetic arrival process: poisson, uniform, bursty")
+	flag.Parse()
+
+	if err := run(*kind, *out, *seed, *characterize, *arrivals); err != nil {
+		fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func generate(kind string, seed int64, arrivals string) (*workload.Trace, error) {
+	switch kind {
+	case "synthetic":
+		cfg := workload.DefaultSyntheticConfig()
+		cfg.Seed = seed
+		switch arrivals {
+		case "", "poisson":
+			cfg.Arrivals = workload.Poisson
+		case "uniform":
+			cfg.Arrivals = workload.Uniform
+		case "bursty":
+			cfg.Arrivals = workload.Bursty
+		default:
+			return nil, fmt.Errorf("unknown arrival process %q", arrivals)
+		}
+		return workload.Synthetic(cfg)
+	case "azure-3000":
+		return workload.AzureLike(workload.AzureConfig{Subset: workload.Azure3000, Seed: seed})
+	case "azure-5000":
+		return workload.AzureLike(workload.AzureConfig{Subset: workload.Azure5000, Seed: seed})
+	case "azure-7500":
+		return workload.AzureLike(workload.AzureConfig{Subset: workload.Azure7500, Seed: seed})
+	default:
+		return nil, fmt.Errorf("unknown workload kind %q", kind)
+	}
+}
+
+func run(kind, out string, seed int64, characterize bool, arrivals string) error {
+	tr, err := generate(kind, seed, arrivals)
+	if err != nil {
+		return err
+	}
+	if characterize {
+		mean := tr.MeanRequest()
+		fmt.Printf("%s: %d VMs, makespan %d tu\n", tr.Name, tr.Len(), tr.Makespan())
+		fmt.Printf("mean request: %.2f cores, %.2f GB RAM, %.2f GB storage\n\n",
+			mean[units.CPU], mean[units.RAM], mean[units.Storage])
+		for _, res := range []units.Resource{units.CPU, units.RAM} {
+			var bars []metrics.Bar
+			for _, vc := range tr.Histogram(res) {
+				bars = append(bars, metrics.Bar{
+					Label: fmt.Sprintf("%d %s", vc.Value, res.Native()),
+					Value: float64(vc.Count),
+				})
+			}
+			fmt.Print(metrics.RenderBars(fmt.Sprintf("%v requests", res), bars, 40, "%.0f"))
+		}
+		return nil
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return trace.Write(w, tr)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"risa/internal/trace"
+	"risa/internal/workload"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	wantN := map[string]int{
+		"synthetic":  2500,
+		"azure-3000": 3000,
+		"azure-5000": 5000,
+		"azure-7500": 7500,
+	}
+	for kind, n := range wantN {
+		tr, err := generate(kind, 1, "poisson")
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if tr.Len() != n {
+			t.Errorf("%s: %d VMs, want %d", kind, tr.Len(), n)
+		}
+	}
+	if _, err := generate("bogus", 1, "poisson"); err == nil {
+		t.Error("bogus kind should fail")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run("azure-3000", out, 2, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f, "azure-3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3000 {
+		t.Errorf("round-trip has %d VMs", tr.Len())
+	}
+	// Same seed regenerates the same trace.
+	direct, err := workload.AzureLike(workload.AzureConfig{Subset: workload.Azure3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.VMs {
+		if tr.VMs[i] != direct.VMs[i] {
+			t.Fatalf("VM %d differs from direct generation", i)
+		}
+	}
+}
+
+func TestGenerateArrivalModels(t *testing.T) {
+	for _, m := range []string{"poisson", "uniform", "bursty"} {
+		tr, err := generate("synthetic", 1, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+	}
+	if _, err := generate("synthetic", 1, "fractal"); err == nil {
+		t.Error("unknown arrival process should fail")
+	}
+}
+
+func TestRunCharacterize(t *testing.T) {
+	if err := run("azure-3000", "", 1, true, ""); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	if err := run("synthetic", "/nonexistent-dir/x.csv", 1, false, "poisson"); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}

@@ -1,0 +1,74 @@
+// Energy: explore the paper's optical energy model (Equation 1) directly —
+// per-path switch energy for each switch class, how intra- vs inter-rack
+// placements differ in steady-state power, and what a VM's lifetime costs.
+//
+//	go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"risa/internal/network"
+	"risa/internal/optics"
+	"risa/internal/power"
+	"risa/internal/topology"
+	"risa/internal/units"
+)
+
+func main() {
+	ocfg := optics.DefaultConfig()
+	model, err := power.NewModel(ocfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Equation 1 components per switch class:")
+	for _, sw := range []struct {
+		name  string
+		ports int
+	}{{"box (64p)", 64}, {"rack (256p)", 256}, {"inter-rack (512p)", 512}} {
+		n, _ := optics.PathCells(sw.ports)
+		lat, _ := ocfg.SwitchLatency(sw.ports)
+		trim, _ := ocfg.PathTrimmingPower(sw.ports)
+		setup, _ := ocfg.PathSwitchingEnergy(sw.ports)
+		fmt.Printf("  %-18s n=%2d cells, lat_sw=%v, setup=%.3g J, trimming=%.1f mW\n",
+			sw.name, n, lat, setup, trim*1000)
+	}
+
+	// Two placements of the same typical VM, one intra- one inter-rack.
+	cl, err := topology.New(topology.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fab, err := network.NewFabric(cl, network.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bw := units.DefaultConfig().CPURAMDemand(units.Vec(8, 16, 128))
+	intra, err := fab.AllocateFlow(cl.Rack(0).BoxesOf(units.CPU)[0],
+		cl.Rack(0).BoxesOf(units.RAM)[0], bw, network.FirstFit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inter, err := fab.AllocateFlow(cl.Rack(0).BoxesOf(units.CPU)[1],
+		cl.Rack(1).BoxesOf(units.RAM)[0], bw, network.FirstFit)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nA %v CPU-RAM flow (typical VM, 16 GB RAM):\n", bw)
+	fmt.Printf("  intra-rack: %.2f W steady state (%.2f W transceivers + %.2f W trimming)\n",
+		model.FlowPower(intra), model.TransceiverPower(intra), model.TrimmingPower(intra))
+	fmt.Printf("  inter-rack: %.2f W steady state (%.2f W transceivers + %.2f W trimming)\n",
+		model.FlowPower(inter), model.TransceiverPower(inter), model.TrimmingPower(inter))
+	fmt.Printf("  inter-rack premium: %.1f%%\n",
+		(model.FlowPower(inter)/model.FlowPower(intra)-1)*100)
+
+	fmt.Println("\nLifetime energy (Equation 1 + transceivers):")
+	for _, life := range []time.Duration{time.Minute, time.Hour, 24 * time.Hour} {
+		fmt.Printf("  T=%-6v intra %9.1f J   inter %9.1f J\n",
+			life, model.FlowEnergy(intra, life), model.FlowEnergy(inter, life))
+	}
+}

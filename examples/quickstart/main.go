@@ -1,0 +1,51 @@
+// Quickstart: build the paper's disaggregated datacenter, schedule one VM
+// with RISA, inspect the placement, and release it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"risa/internal/core"
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+func main() {
+	// 1. A fresh Table 1 datacenter: 18 racks x 6 boxes x 8 bricks x 16
+	//    units, with the calibrated optical fabric.
+	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The RISA scheduler bound to it.
+	risa := core.New(st)
+
+	// 3. The paper's "typical VM": 8 cores, 16 GB RAM, 128 GB storage.
+	vm := workload.VM{ID: 0, Arrival: 0, Lifetime: 1000, Req: units.Vec(8, 16, 128)}
+	a, err := risa.Schedule(vm)
+	if err != nil {
+		log.Fatalf("schedule: %v", err)
+	}
+
+	fmt.Printf("VM %d scheduled (%s)\n", vm.ID, vm.Req)
+	fmt.Printf("  CPU  → %v\n", a.CPU.Box)
+	fmt.Printf("  RAM  → %v\n", a.RAM.Box)
+	fmt.Printf("  STO  → %v\n", a.STO.Box)
+	fmt.Printf("  inter-rack: %v, CPU-RAM round trip: %v\n", a.InterRack(), a.CPURAMLatency())
+	fmt.Printf("  CPU-RAM flow: %v, RAM-STO flow: %v\n",
+		a.CPURAMFlow.BW(), a.RAMSTOFlow.BW())
+	fmt.Printf("  cluster RAM utilization: %.3f%%\n",
+		st.Cluster.Utilization(units.RAM)*100)
+
+	// 4. Release when the VM departs; the datacenter is pristine again.
+	risa.Release(a)
+	fmt.Printf("released; RAM utilization back to %.3f%%\n",
+		st.Cluster.Utilization(units.RAM)*100)
+}

@@ -1,0 +1,70 @@
+// Timeseries: sample the simulator's utilization and power signals over
+// an Azure-like run and draw them as terminal sparklines — the dynamic
+// view behind the paper's aggregate Figures 8 and 9.
+//
+//	go run ./examples/timeseries
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"risa/internal/core"
+	"risa/internal/experiments"
+	"risa/internal/metrics"
+	"risa/internal/sim"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+func main() {
+	setup := experiments.AzureSetup()
+	tr, err := setup.AzureTrace(workload.Azure3000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := setup.NewState()
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner, err := sim.NewRunner(st, core.New(st), sim.Config{SampleEvery: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := runner.Run(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	series := func(pick func(sim.Sample) float64) []float64 {
+		out := make([]float64, len(res.Samples))
+		for i, s := range res.Samples {
+			out[i] = pick(s)
+		}
+		return out
+	}
+	fmt.Printf("%s under RISA: %d samples over %d time units\n\n", tr.Name, len(res.Samples), res.Makespan)
+	rows := []struct {
+		label string
+		pick  func(sim.Sample) float64
+		max   float64
+	}{
+		{"resident VMs", func(s sim.Sample) float64 { return float64(s.Resident) }, 0},
+		{"CPU util %", func(s sim.Sample) float64 { return s.Util[units.CPU] }, 0},
+		{"RAM util %", func(s sim.Sample) float64 { return s.Util[units.RAM] }, 0},
+		{"STO util %", func(s sim.Sample) float64 { return s.Util[units.Storage] }, 0},
+		{"intra net %", func(s sim.Sample) float64 { return s.IntraUtil }, 0},
+		{"power kW", func(s sim.Sample) float64 { return s.PowerW / 1000 }, 0},
+	}
+	for _, row := range rows {
+		vals := series(row.pick)
+		var peak float64
+		for _, v := range vals {
+			if v > peak {
+				peak = v
+			}
+		}
+		fmt.Printf("  %-12s %s  peak %.1f\n", row.label, metrics.Sparkline(vals), peak)
+	}
+	fmt.Println("\nThe workload ramps up, plateaus near the storage bound, and drains.")
+}

@@ -1,0 +1,18 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"risa/internal/baseline"
+	"risa/internal/sched"
+	"risa/internal/sched/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conformance(t, "NULB", func(st *sched.State) sched.Scheduler {
+		return baseline.NewNULB(st)
+	})
+	schedtest.Conformance(t, "NALB", func(st *sched.State) sched.Scheduler {
+		return baseline.NewNALB(st)
+	})
+}

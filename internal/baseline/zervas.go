@@ -1,0 +1,166 @@
+// Package baseline implements the two state-of-the-art schedulers the RISA
+// paper compares against, from Zervas et al. (JOCN 2018):
+//
+//   - NULB, the network-unaware locality-based heuristic (the paper's
+//     Algorithm 2): pick the most contended resource by contention ratio,
+//     take the first box that can hold it, find the remaining resources by
+//     breadth-first search (same rack first, then the other racks), and
+//     reserve bandwidth on the first links that fit.
+//   - NALB, the network-aware variant: the BFS visits candidate boxes in
+//     descending order of their available uplink bandwidth, and the network
+//     phase picks the links with the most available bandwidth.
+//
+// Both schedulers also serve as RISA's SUPER_RACK fallback, which is why
+// Schedule is split into a maskable ScheduleMasked.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// Masks restricts the candidate racks per resource; a nil entry allows all
+// racks for that resource. RISA's SUPER_RACK is expressed as one mask per
+// resource kind.
+type Masks [units.NumResources]sched.RackMask
+
+// zervas is the shared implementation of NULB and NALB.
+type zervas struct {
+	st   *sched.State
+	nalb bool // true → NALB: bandwidth-ordered BFS + max-avail links
+}
+
+// NewNULB returns the network-unaware locality-based scheduler bound to st.
+func NewNULB(st *sched.State) sched.Scheduler { return &zervas{st: st} }
+
+// NewNALB returns the network-aware locality-based scheduler bound to st.
+func NewNALB(st *sched.State) sched.Scheduler { return &zervas{st: st, nalb: true} }
+
+// MaskedScheduler is a Scheduler that can additionally be restricted to a
+// subset of racks per resource; RISA's SUPER_RACK fallback needs this.
+type MaskedScheduler interface {
+	sched.Scheduler
+	ScheduleMasked(vm workload.VM, masks Masks) (*sched.Assignment, error)
+}
+
+// NewNULBMasked returns NULB exposed with its maskable entry point for use
+// as RISA's fallback.
+func NewNULBMasked(st *sched.State) MaskedScheduler { return &zervas{st: st} }
+
+// Name implements sched.Scheduler.
+func (z *zervas) Name() string {
+	if z.nalb {
+		return "NALB"
+	}
+	return "NULB"
+}
+
+// Schedule implements sched.Scheduler over the whole cluster.
+func (z *zervas) Schedule(vm workload.VM) (*sched.Assignment, error) {
+	return z.ScheduleMasked(vm, Masks{})
+}
+
+// Release implements sched.Scheduler.
+func (z *zervas) Release(a *sched.Assignment) { z.st.ReleaseVM(a) }
+
+// ScheduleMasked runs Algorithm 2 restricted to the masked racks.
+func (z *zervas) ScheduleMasked(vm workload.VM, masks Masks) (*sched.Assignment, error) {
+	cl := z.st.Cluster
+	resMax, ok := sched.ScarcestResource(cl, vm.Req)
+	if !ok {
+		return nil, fmt.Errorf("baseline: VM %d requests nothing", vm.ID)
+	}
+
+	// Phase 1a: the first box anywhere that can hold the scarcest
+	// resource (global rack-major, box-index order).
+	first := z.firstBox(resMax, vm.Req[resMax], masks[resMax])
+	if first == nil {
+		return nil, fmt.Errorf("baseline: VM %d: no box with %d %s free",
+			vm.ID, vm.Req[resMax], resMax.Native())
+	}
+
+	// Phase 1b: BFS outwards from the scarce box for the other resources.
+	var boxes sched.BoxTriple
+	boxes[resMax] = first
+	for _, r := range units.Resources() {
+		if r == resMax || vm.Req[r] == 0 {
+			continue
+		}
+		b := z.bfsFind(first.Rack(), r, vm.Req[r], masks[r])
+		if b == nil {
+			return nil, fmt.Errorf("baseline: VM %d: no box with %d %s free reachable from rack %d",
+				vm.ID, vm.Req[r], r.Native(), first.Rack())
+		}
+		boxes[r] = b
+	}
+
+	// Phase 2: network allocation. NULB takes the first links that fit,
+	// NALB the links with the most available bandwidth.
+	policy := network.FirstFit
+	if z.nalb {
+		policy = network.MaxAvail
+	}
+	return z.st.AllocateVM(vm, boxes, policy)
+}
+
+// firstBox returns the first box in global order holding kind r with
+// enough free, honoring the rack mask.
+func (z *zervas) firstBox(r units.Resource, need units.Amount, mask sched.RackMask) *topology.Box {
+	for _, b := range z.st.Cluster.Boxes() {
+		if b.Kind() != r || !mask.Allows(b.Rack()) {
+			continue
+		}
+		if b.Free() >= need {
+			return b
+		}
+	}
+	return nil
+}
+
+// bfsFind searches for a box of kind r with enough free space, visiting
+// the home rack's boxes first and then every other rack (ascending index —
+// all racks are equidistant through the inter-rack switch). NALB reorders
+// each BFS level by descending available uplink bandwidth.
+func (z *zervas) bfsFind(homeRack int, r units.Resource, need units.Amount, mask sched.RackMask) *topology.Box {
+	cl := z.st.Cluster
+	if mask.Allows(homeRack) {
+		if b := z.pickFromLevel(cl.Rack(homeRack).BoxesOf(r), need); b != nil {
+			return b
+		}
+	}
+	// Second BFS level: all remaining racks.
+	var level []*topology.Box
+	for _, rack := range cl.Racks() {
+		if rack.Index() == homeRack || !mask.Allows(rack.Index()) {
+			continue
+		}
+		level = append(level, rack.BoxesOf(r)...)
+	}
+	return z.pickFromLevel(level, need)
+}
+
+// pickFromLevel returns the first fitting box of one BFS level, after the
+// NALB bandwidth reordering when enabled.
+func (z *zervas) pickFromLevel(level []*topology.Box, need units.Amount) *topology.Box {
+	if z.nalb && len(level) > 1 {
+		ordered := make([]*topology.Box, len(level))
+		copy(ordered, level)
+		fab := z.st.Fabric
+		sort.SliceStable(ordered, func(i, j int) bool {
+			return fab.BoxUplinkFree(ordered[i]) > fab.BoxUplinkFree(ordered[j])
+		})
+		level = ordered
+	}
+	for _, b := range level {
+		if b.Free() >= need {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package core_test
+
+import (
+	"testing"
+
+	"risa/internal/core"
+	"risa/internal/sched"
+	"risa/internal/sched/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conformance(t, "RISA", func(st *sched.State) sched.Scheduler {
+		return core.New(st)
+	})
+	schedtest.Conformance(t, "RISA-BF", func(st *sched.State) sched.Scheduler {
+		return core.NewBF(st)
+	})
+	for _, p := range []core.BoxPolicy{core.FirstFit, core.WorstFit} {
+		p := p
+		schedtest.Conformance(t, "RISA-"+p.String(), func(st *sched.State) sched.Scheduler {
+			return core.NewWithOptions(st, core.Options{Packing: p})
+		})
+	}
+	schedtest.Conformance(t, "RISA-no-RR", func(st *sched.State) sched.Scheduler {
+		return core.NewWithOptions(st, core.Options{DisableRoundRobin: true})
+	})
+}

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+
+	"risa/internal/core"
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+func ExampleNew() {
+	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	risa := core.New(st)
+
+	vm := workload.VM{ID: 0, Lifetime: 1000, Req: units.Vec(8, 16, 128)}
+	a, err := risa.Schedule(vm)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("inter-rack:", a.InterRack())
+	fmt.Println("CPU-RAM RTT:", a.CPURAMLatency())
+	risa.Release(a)
+	// Output:
+	// inter-rack: false
+	// CPU-RAM RTT: 110ns
+}
+
+func ExampleNewWithOptions() {
+	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	// An ablated RISA: worst-fit packing, no round-robin.
+	variant := core.NewWithOptions(st, core.Options{
+		Packing:           core.WorstFit,
+		DisableRoundRobin: true,
+		Name:              "RISA-WF",
+	})
+	fmt.Println(variant.Name())
+	// Output:
+	// RISA-WF
+}
+
+func ExampleRebalance() {
+	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	risa := core.New(st)
+	a, err := risa.Schedule(workload.VM{ID: 0, Lifetime: 1, Req: units.Vec(8, 16, 128)})
+	if err != nil {
+		panic(err)
+	}
+	// Already intra-rack: nothing to migrate.
+	fmt.Println(core.Rebalance(risa, []*sched.Assignment{a}))
+	// Output:
+	// 0
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/units"
+)
+
+// Rebalance is an extension beyond the paper (its conclusion motivates
+// minimizing inter-rack usage; migration is the natural follow-up): it
+// walks a set of live assignments and re-places every inter-rack VM whose
+// whole request now fits inside a single rack, converting it to an
+// intra-rack placement. VMs already intra-rack are untouched.
+//
+// The migration is transactional per VM: the old placement is released
+// first (so the VM may move within its own racks' freed space), the new
+// intra-rack placement is attempted through the usual pool walk, and on
+// failure the original placement is restored exactly (same boxes, same
+// flows — the capacity was just freed, so restoration cannot fail).
+//
+// It returns the number of VMs migrated. The entries of assignments are
+// updated in place to their new placements.
+func Rebalance(r *RISA, assignments []*sched.Assignment) int {
+	migrated := 0
+	for _, a := range assignments {
+		if a == nil || !a.InterRack() {
+			continue
+		}
+		if r.migrate(a) {
+			migrated++
+		}
+	}
+	return migrated
+}
+
+// migrate attempts to move one inter-rack assignment intra-rack.
+func (r *RISA) migrate(a *sched.Assignment) bool {
+	// Remember the old placement so it can be restored byte-for-byte.
+	oldBoxes := sched.BoxTriple{}
+	if !a.CPU.IsZero() {
+		oldBoxes[units.CPU] = a.CPU.Box
+	}
+	if !a.RAM.IsZero() {
+		oldBoxes[units.RAM] = a.RAM.Box
+	}
+	if !a.STO.IsZero() {
+		oldBoxes[units.Storage] = a.STO.Box
+	}
+	vm := a.VM
+
+	// Release, try intra-rack, restore on failure.
+	r.st.ReleaseVM(a)
+	pool := r.intraRackPool(vm.Req)
+	if len(pool) > 0 {
+		if moved, err := r.scheduleIntra(vm, pool); err == nil {
+			*a = *moved
+			return true
+		}
+	}
+	restored, err := r.st.AllocateVM(vm, oldBoxes, network.FirstFit)
+	if err != nil {
+		// Cannot happen: the exact capacity was freed above. Fail loudly
+		// rather than lose a VM silently.
+		panic("core: rebalance failed to restore a released placement: " + err.Error())
+	}
+	*a = *restored
+	return false
+}

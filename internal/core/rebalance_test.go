@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"risa/internal/baseline"
+	"risa/internal/sched"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// interRackState builds a 2-rack cluster with an assignment forced across
+// racks: CPU in rack 1, RAM+STO in rack 0.
+func interRackAssignment(t *testing.T) (*sched.State, *sched.Assignment) {
+	t.Helper()
+	st := toyState(t)
+	// Exhaust rack 1's RAM so NULB splits the VM (toy example 1 shape).
+	nulb := baseline.NewNULB(st)
+	vm := workload.VM{ID: 0, Lifetime: 100, Req: units.Vec(8, 16, 128)}
+	a, err := nulb.Schedule(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.InterRack() {
+		t.Fatal("setup should produce an inter-rack assignment")
+	}
+	return st, a
+}
+
+func TestRebalanceMigratesInterRackVM(t *testing.T) {
+	st, a := interRackAssignment(t)
+	r := New(st)
+	moved := Rebalance(r, []*sched.Assignment{a})
+	if moved != 1 {
+		t.Fatalf("migrated %d, want 1", moved)
+	}
+	if a.InterRack() {
+		t.Error("assignment should now be intra-rack")
+	}
+	if a.CPURAMLatency() != sched.IntraRackCPURAMLatency {
+		t.Error("latency should drop to the floor")
+	}
+	// All resources still held, nothing leaked.
+	if a.CPU.Total != 8 || a.RAM.Total != 16 || a.STO.Total != 128 {
+		t.Errorf("migrated placement wrong: %d/%d/%d", a.CPU.Total, a.RAM.Total, a.STO.Total)
+	}
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := st.Fabric.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// The migrated VM can be released normally.
+	st.ReleaseVM(a)
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRebalanceSkipsIntraRackVMs(t *testing.T) {
+	st := defaultState(t)
+	r := New(st)
+	var as []*sched.Assignment
+	for i := 0; i < 5; i++ {
+		a, err := r.Schedule(typicalVM(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		as = append(as, a)
+	}
+	if moved := Rebalance(r, as); moved != 0 {
+		t.Errorf("intra-rack VMs migrated: %d", moved)
+	}
+}
+
+func TestRebalanceRestoresWhenNoRackFits(t *testing.T) {
+	// The inter-rack VM stays inter-rack when still no single rack can
+	// host it; the original placement must be restored exactly.
+	st, a := interRackAssignment(t)
+	// Shrink rack 1's RAM below the request (max 15 GB in one box) so
+	// migration is impossible: rack 0 has no CPU, rack 1 not enough RAM.
+	if _, err := st.Cluster.Preoccupy(1, 0, units.RAM, 17); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Cluster.Preoccupy(1, 1, units.RAM, 16); err != nil {
+		t.Fatal(err)
+	}
+	r := New(st)
+	cpuBox := a.CPU.Box
+	ramBox := a.RAM.Box
+	if moved := Rebalance(r, []*sched.Assignment{a}); moved != 0 {
+		t.Fatalf("migration should be impossible")
+	}
+	if a.CPU.Box != cpuBox || a.RAM.Box != ramBox {
+		t.Error("failed migration must restore the original boxes")
+	}
+	if !a.InterRack() {
+		t.Error("assignment should remain inter-rack")
+	}
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := st.Fabric.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRebalanceHandlesNilEntries(t *testing.T) {
+	st := defaultState(t)
+	r := New(st)
+	if moved := Rebalance(r, []*sched.Assignment{nil, nil}); moved != 0 {
+		t.Error("nil assignments should be skipped")
+	}
+}
+
+func TestRebalanceManyVMs(t *testing.T) {
+	// Fill a cluster with NULB under rack-0 CPU pressure to create many
+	// inter-rack placements, then rebalance with RISA and verify every
+	// migration reduced the inter-rack count monotonically.
+	st := defaultState(t)
+	for _, b := range st.Cluster.Rack(0).BoxesOf(units.CPU) {
+		if _, err := st.Cluster.Allocate(b, b.Free()-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nulb := baseline.NewNULB(st)
+	var as []*sched.Assignment
+	inter := 0
+	for i := 0; i < 200; i++ {
+		a, err := nulb.Schedule(workload.VM{ID: i, Lifetime: 1, Req: units.Vec(8, 16, 128)})
+		if err != nil {
+			continue
+		}
+		as = append(as, a)
+		if a.InterRack() {
+			inter++
+		}
+	}
+	r := New(st)
+	moved := Rebalance(r, as)
+	after := 0
+	for _, a := range as {
+		if a.InterRack() {
+			after++
+		}
+	}
+	if after != inter-moved {
+		t.Errorf("inter-rack count %d -> %d with %d migrations", inter, after, moved)
+	}
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := st.Fabric.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

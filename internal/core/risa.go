@@ -1,0 +1,269 @@
+// Package core implements the RISA paper's contribution: the Round-robin
+// Intra-rack friendly Scheduling Algorithm (Algorithm 1) and its best-fit
+// variant RISA-BF (Algorithm 3).
+//
+// RISA's idea: a VM whose whole request fits inside a single rack should
+// be placed inside a single rack, because every inter-rack placement burns
+// inter-rack optical bandwidth, switch power and latency. RISA therefore
+//
+//  1. builds the INTRA_RACK_POOL — every rack whose per-resource maximum
+//     single-box availability covers the request;
+//  2. walks that pool round-robin (a rotating cursor balances load across
+//     racks) and places the VM in the first pool rack whose intra-rack
+//     network can still carry the VM's flows;
+//  3. only when the pool is empty (or no pool rack has network headroom)
+//     builds the SUPER_RACK — per resource, the racks that could hold that
+//     single component — and delegates to NULB restricted to those racks,
+//     accepting an inter-rack placement.
+//
+// RISA-BF differs in step 2 only: boxes inside the chosen rack are taken
+// best-fit (ascending free space) instead of first-fit, packing tighter
+// and stranding less.
+package core
+
+import (
+	"fmt"
+
+	"risa/internal/baseline"
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// RISA is the scheduler of Algorithm 1 (and, with best-fit box selection,
+// Algorithm 3). Not safe for concurrent use.
+type RISA struct {
+	st       *sched.State
+	fallback baseline.MaskedScheduler
+	opts     Options
+	cursor   int // round-robin rack cursor: next rack index to prefer
+	stats    Stats
+
+	// boxCursor holds RISA's per-rack, per-resource next-fit position.
+	// The paper calls its intra-rack packing "first-fit, box 0 first,
+	// then box 1", but Table 4 shows the selection never returns to an
+	// earlier box while the current one still fits (VM 4 with 5 cores
+	// goes to box 1 although box 0 has 9 free) — i.e. next-fit. We
+	// reproduce Table 4 exactly; see DESIGN.md §4.
+	boxCursor map[int]*[units.NumResources]int
+}
+
+// New returns RISA bound to the given datacenter state.
+func New(st *sched.State) *RISA { return NewWithOptions(st, Options{}) }
+
+// NewBF returns RISA-BF (Algorithm 3) bound to the given state.
+func NewBF(st *sched.State) *RISA {
+	return NewWithOptions(st, Options{Packing: BestFit})
+}
+
+// NewWithOptions returns an ablated RISA variant; see Options.
+func NewWithOptions(st *sched.State, opts Options) *RISA {
+	return &RISA{
+		st:        st,
+		fallback:  baseline.NewNULBMasked(st),
+		opts:      opts,
+		boxCursor: make(map[int]*[units.NumResources]int),
+	}
+}
+
+// Name implements sched.Scheduler.
+func (r *RISA) Name() string {
+	if r.opts.Name != "" {
+		return r.opts.Name
+	}
+	if r.opts.Packing == BestFit {
+		return "RISA-BF"
+	}
+	return "RISA"
+}
+
+// Release implements sched.Scheduler.
+func (r *RISA) Release(a *sched.Assignment) { r.st.ReleaseVM(a) }
+
+// Schedule implements sched.Scheduler: Algorithm 1 / Algorithm 3 for one
+// VM.
+func (r *RISA) Schedule(vm workload.VM) (*sched.Assignment, error) {
+	if !vm.Req.NonNegative() || vm.Req.IsZero() {
+		return nil, fmt.Errorf("core: VM %d has unusable request %v", vm.ID, vm.Req)
+	}
+	pool := r.intraRackPool(vm.Req)
+	if len(pool) == 0 {
+		r.stats.PoolEmpty++
+	} else {
+		if a, err := r.scheduleIntra(vm, pool); err == nil {
+			r.stats.IntraRack++
+			return a, nil
+		}
+		// Pool racks exist but none has the network headroom (or a
+		// placement raced against bandwidth fragmentation): fall back.
+		r.stats.NetGated++
+	}
+	a, err := r.scheduleSuperRack(vm)
+	if err != nil {
+		r.stats.Dropped++
+		return nil, err
+	}
+	r.stats.SuperRack++
+	return a, nil
+}
+
+// intraRackPool returns the indices of racks that can host the entire VM:
+// for every requested resource some single box in the rack has enough
+// free space. Indices are ascending.
+func (r *RISA) intraRackPool(req units.Vector) []int {
+	var pool []int
+	for _, rack := range r.st.Cluster.Racks() {
+		if rack.FitsWholeVM(req) {
+			pool = append(pool, rack.Index())
+		}
+	}
+	return pool
+}
+
+// scheduleIntra walks the pool round-robin starting at the cursor and
+// attempts an intra-rack placement in each candidate until one sticks.
+func (r *RISA) scheduleIntra(vm workload.VM, pool []int) (*sched.Assignment, error) {
+	cfg := r.st.Units()
+	demand := cfg.CPURAMDemand(vm.Req) + cfg.RAMSTODemand(vm.Req)
+	// Rotate the pool so iteration starts at the first rack ≥ cursor.
+	start := 0
+	for i, idx := range pool {
+		if idx >= r.cursor {
+			start = i
+			break
+		}
+	}
+	for k := 0; k < len(pool); k++ {
+		rackIdx := pool[(start+k)%len(pool)]
+		r.stats.RacksProbed++
+		// AVAIL_INTRA_RACK_NET: skip racks whose intra-rack links cannot
+		// carry both of the VM's flows at all.
+		if r.st.Fabric.RackIntraFree(rackIdx) < demand {
+			continue
+		}
+		boxes, ok := r.chooseBoxes(r.st.Cluster.Rack(rackIdx), vm.Req)
+		if !ok {
+			continue
+		}
+		a, err := r.st.AllocateVM(vm, boxes, network.FirstFit)
+		if err != nil {
+			continue // e.g. per-link bandwidth fragmentation; try next rack
+		}
+		// Advance the round-robin cursor past the rack we just used and
+		// remember the next-fit box positions inside it.
+		if !r.opts.DisableRoundRobin {
+			r.cursor = (rackIdx + 1) % r.st.Cluster.NumRacks()
+		}
+		if r.opts.Packing == NextFit {
+			cur := r.cursors(rackIdx)
+			for _, res := range units.Resources() {
+				if boxes[res] != nil {
+					cur[res] = boxes[res].KindIndex()
+				}
+			}
+		}
+		return a, nil
+	}
+	return nil, fmt.Errorf("core: VM %d: no pool rack with intra-rack network headroom", vm.ID)
+}
+
+// cursors returns the rack's next-fit positions, creating them on first
+// use.
+func (r *RISA) cursors(rackIdx int) *[units.NumResources]int {
+	cur, ok := r.boxCursor[rackIdx]
+	if !ok {
+		cur = new([units.NumResources]int)
+		r.boxCursor[rackIdx] = cur
+	}
+	return cur
+}
+
+// chooseBoxes picks one box per requested resource inside the rack
+// according to the packing policy. RISA packs next-fit: scanning starts at
+// the rack's cursor box and wraps, staying on the current box while it
+// fits (this is what the paper's Table 4 traces — see the boxCursor
+// comment). RISA-BF takes the fitting box with the least free space
+// (best-fit). First-fit and worst-fit exist for the packing ablation.
+func (r *RISA) chooseBoxes(rack *topology.Rack, req units.Vector) (sched.BoxTriple, bool) {
+	var boxes sched.BoxTriple
+	cur := r.cursors(rack.Index())
+	for _, res := range units.Resources() {
+		if req[res] == 0 {
+			continue
+		}
+		kindBoxes := rack.BoxesOf(res)
+		var chosen *topology.Box
+		switch r.opts.Packing {
+		case BestFit:
+			for _, b := range kindBoxes {
+				if b.Free() < req[res] {
+					continue
+				}
+				if chosen == nil || b.Free() < chosen.Free() {
+					chosen = b
+				}
+			}
+		case WorstFit:
+			for _, b := range kindBoxes {
+				if b.Free() < req[res] {
+					continue
+				}
+				if chosen == nil || b.Free() > chosen.Free() {
+					chosen = b
+				}
+			}
+		case FirstFit:
+			for _, b := range kindBoxes {
+				if b.Free() >= req[res] {
+					chosen = b
+					break
+				}
+			}
+		default: // NextFit — the paper's RISA
+			start := cur[res]
+			for k := 0; k < len(kindBoxes); k++ {
+				if b := kindBoxes[(start+k)%len(kindBoxes)]; b.Free() >= req[res] {
+					chosen = b
+					break
+				}
+			}
+		}
+		if chosen == nil {
+			return boxes, false
+		}
+		boxes[res] = chosen
+	}
+	return boxes, true
+}
+
+// scheduleSuperRack builds the SUPER_RACK (per resource, the racks whose
+// best box could hold that component) and delegates to NULB restricted to
+// it, accepting an inter-rack placement.
+func (r *RISA) scheduleSuperRack(vm workload.VM) (*sched.Assignment, error) {
+	cl := r.st.Cluster
+	var masks baseline.Masks
+	for _, res := range units.Resources() {
+		if vm.Req[res] == 0 {
+			continue
+		}
+		mask := make(sched.RackMask, cl.NumRacks())
+		any := false
+		for _, rack := range cl.Racks() {
+			if max, _ := rack.MaxFree(res); max >= vm.Req[res] {
+				mask[rack.Index()] = true
+				any = true
+			}
+		}
+		if !any {
+			return nil, fmt.Errorf("core: VM %d: SUPER_RACK empty for %v (need %d %s)",
+				vm.ID, res, vm.Req[res], res.Native())
+		}
+		masks[res] = mask
+	}
+	return r.fallback.ScheduleMasked(vm, masks)
+}
+
+// Cursor exposes the round-robin position for tests and ablations.
+func (r *RISA) Cursor() int { return r.cursor }

@@ -1,0 +1,196 @@
+// Package experiments contains one runner per table and figure of the
+// RISA paper's evaluation (§4.3 and §5). Each runner builds a fresh
+// datacenter, replays the right workload through the right algorithms,
+// and returns a typed result that renders as an ASCII version of the
+// paper's figure.
+//
+// The experiment index lives in DESIGN.md §5; measured-vs-paper numbers
+// are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"risa/internal/baseline"
+	"risa/internal/core"
+	"risa/internal/network"
+	"risa/internal/optics"
+	"risa/internal/power"
+	"risa/internal/sched"
+	"risa/internal/sim"
+	"risa/internal/topology"
+	"risa/internal/workload"
+)
+
+// Algorithms lists the four schedulers in the paper's presentation order.
+var Algorithms = []string{"NULB", "NALB", "RISA", "RISA-BF"}
+
+// NewScheduler builds the named scheduler bound to st.
+func NewScheduler(name string, st *sched.State) (sched.Scheduler, error) {
+	switch name {
+	case "NULB":
+		return baseline.NewNULB(st), nil
+	case "NALB":
+		return baseline.NewNALB(st), nil
+	case "RISA":
+		return core.New(st), nil
+	case "RISA-BF":
+		return core.NewBF(st), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown algorithm %q", name)
+	}
+}
+
+// Setup fixes the environment of one experiment: the cluster architecture,
+// the fabric provisioning and the optical device parameters.
+type Setup struct {
+	Topology topology.Config
+	Network  network.Config
+	Optics   optics.Config
+	Seed     int64
+}
+
+// DefaultSetup returns the Table 1 architecture with the calibrated fabric
+// provisioning — 16 uplinks per box, so a box's aggregate bandwidth
+// (3.2 Tb/s) never binds before its compute does and no algorithm drops
+// VMs for lack of intra-rack links, matching the paper's zero-drop runs
+// (see EXPERIMENTS.md for the calibration) — and the paper's optical
+// constants.
+func DefaultSetup() Setup {
+	n := network.DefaultConfig()
+	n.BoxUplinks = 16
+	return Setup{
+		Topology: topology.DefaultConfig(),
+		Network:  n,
+		Optics:   optics.DefaultConfig(),
+		Seed:     1,
+	}
+}
+
+// AzureSetup returns the configuration used for the practical-workload
+// experiments (Figures 7-10 and 12): the DefaultSetup fabric with a
+// storage-heavy rack composition of 1 CPU + 2 RAM + 3 storage boxes.
+//
+// The paper never states its rack composition. Its §5.1 synthetic
+// utilization ratios pin equal CPU and RAM box counts (2/2/2 — used by
+// the synthetic experiments), but under 2/2/2 the Azure request mix
+// leaves every rack RAM-slack and the baselines co-locate ~97 % of VMs,
+// nowhere near the paper's ≈50 % inter-rack rate. A storage-heavy rack
+// tightens per-rack balance exactly where §5.2 says it matters ("storage
+// is the most contended resource") and reproduces the shape of every
+// §5.2 figure; the box-mix ablation shows both regimes side by side.
+// See EXPERIMENTS.md for the full calibration story.
+func AzureSetup() Setup {
+	s := DefaultSetup()
+	s.Topology.CPUBoxes = 1
+	s.Topology.RAMBoxes = 2
+	s.Topology.STOBoxes = 3
+	return s
+}
+
+// NewState builds a fresh datacenter for the setup.
+func (s Setup) NewState() (*sched.State, error) {
+	return sched.NewState(s.Topology, s.Network)
+}
+
+// RunOne replays the trace through the named algorithm on a fresh
+// datacenter and returns the simulation result.
+func (s Setup) RunOne(algorithm string, tr *workload.Trace) (*sim.Result, error) {
+	st, err := s.NewState()
+	if err != nil {
+		return nil, err
+	}
+	sch, err := NewScheduler(algorithm, st)
+	if err != nil {
+		return nil, err
+	}
+	return s.runOn(st, sch, tr)
+}
+
+// runOn replays the trace through an already-bound scheduler.
+func (s Setup) runOn(st *sched.State, sch sched.Scheduler, tr *workload.Trace) (*sim.Result, error) {
+	model, err := power.NewModel(s.Optics)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := sim.NewRunner(st, sch, sim.Config{PowerModel: model})
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run(tr)
+}
+
+// RunAll replays the trace through every algorithm and returns results
+// keyed by algorithm name. Each algorithm gets its own fresh datacenter,
+// so the four simulations are independent and run concurrently; results
+// are deterministic regardless of scheduling order.
+func (s Setup) RunAll(tr *workload.Trace) (map[string]*sim.Result, error) {
+	type outcome struct {
+		alg string
+		res *sim.Result
+		err error
+	}
+	ch := make(chan outcome, len(Algorithms))
+	for _, alg := range Algorithms {
+		go func(alg string) {
+			res, err := s.RunOne(alg, tr)
+			ch <- outcome{alg: alg, res: res, err: err}
+		}(alg)
+	}
+	out := make(map[string]*sim.Result, len(Algorithms))
+	var firstErr error
+	for range Algorithms {
+		o := <-ch
+		if o.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s on %s: %w", o.alg, tr.Name, o.err)
+		}
+		if o.err == nil {
+			out[o.alg] = o.res
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// SyntheticTrace generates the §5.1 synthetic workload with the setup's
+// seed.
+func (s Setup) SyntheticTrace() (*workload.Trace, error) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Seed = s.Seed
+	return workload.Synthetic(cfg)
+}
+
+// AzureTrace generates the Azure-like workload for one subset with the
+// setup's seed.
+func (s Setup) AzureTrace(subset workload.AzureSubset) (*workload.Trace, error) {
+	return workload.AzureLike(workload.AzureConfig{Subset: subset, Seed: s.Seed})
+}
+
+// AzureMatrix runs every algorithm on every Azure subset: the shared
+// backing data of Figures 7, 8, 9, 10 and 12.
+type AzureMatrix struct {
+	Setup   Setup
+	Results map[workload.AzureSubset]map[string]*sim.Result
+}
+
+// RunAzureMatrix computes the full practical-workload result matrix.
+func (s Setup) RunAzureMatrix() (*AzureMatrix, error) {
+	m := &AzureMatrix{
+		Setup:   s,
+		Results: make(map[workload.AzureSubset]map[string]*sim.Result),
+	}
+	for _, subset := range workload.Subsets() {
+		tr, err := s.AzureTrace(subset)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.RunAll(tr)
+		if err != nil {
+			return nil, err
+		}
+		m.Results[subset] = res
+	}
+	return m, nil
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"risa/internal/metrics"
+	"risa/internal/sim"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// Fig5 reproduces Figure 5: the number of inter-rack VM assignments of the
+// four algorithms on the §5.1 synthetic workload, plus the prose
+// utilization numbers of §5.1.
+type Fig5 struct {
+	Results map[string]*sim.Result // by algorithm
+}
+
+// RunFig5 executes the Figure 5 experiment.
+func (s Setup) RunFig5() (*Fig5, error) {
+	tr, err := s.SyntheticTrace()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.RunAll(tr)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5{Results: res}, nil
+}
+
+// Render draws the figure as ASCII bars plus the §5.1 utilization lines.
+func (f *Fig5) Render() string {
+	var bars []metrics.Bar
+	for _, alg := range Algorithms {
+		bars = append(bars, metrics.Bar{Label: alg, Value: float64(f.Results[alg].InterRack)})
+	}
+	var b strings.Builder
+	b.WriteString(metrics.RenderBars(
+		"Figure 5: Number of inter-rack VM assignments (synthetic workload)",
+		bars, 40, "%.0f"))
+	b.WriteString("\n§5.1 prose numbers (time-averaged utilization, %):\n")
+	for _, alg := range Algorithms {
+		r := f.Results[alg]
+		fmt.Fprintf(&b, "  %-8s CPU %.2f  RAM %.2f  STO %.2f  (scheduled %d, dropped %d)\n",
+			alg, r.AvgUtil[units.CPU], r.AvgUtil[units.RAM], r.AvgUtil[units.Storage],
+			r.Scheduled, r.Dropped)
+	}
+	return b.String()
+}
+
+// Fig6 reproduces Figure 6: the CPU and RAM request histograms of the
+// three Azure-like workloads.
+type Fig6 struct {
+	Traces []*workload.Trace
+}
+
+// RunFig6 generates the three practical workloads.
+func (s Setup) RunFig6() (*Fig6, error) {
+	f := &Fig6{}
+	for _, subset := range workload.Subsets() {
+		tr, err := s.AzureTrace(subset)
+		if err != nil {
+			return nil, err
+		}
+		f.Traces = append(f.Traces, tr)
+	}
+	return f, nil
+}
+
+// Render draws per-subset CPU and RAM histograms.
+func (f *Fig6) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: CPU and RAM distribution of the Azure-like traces\n\n")
+	for _, tr := range f.Traces {
+		for _, res := range []units.Resource{units.CPU, units.RAM} {
+			var bars []metrics.Bar
+			for _, vc := range tr.Histogram(res) {
+				bars = append(bars, metrics.Bar{
+					Label: fmt.Sprintf("%d %s", vc.Value, res.Native()),
+					Value: float64(vc.Count),
+				})
+			}
+			b.WriteString(metrics.RenderBars(
+				fmt.Sprintf("%s — %v requests", tr.Name, res), bars, 40, "%.0f"))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// subsetOrder returns the matrix's subsets in paper order.
+func (m *AzureMatrix) subsetOrder() []workload.AzureSubset {
+	subs := make([]workload.AzureSubset, 0, len(m.Results))
+	for s := range m.Results {
+		subs = append(subs, s)
+	}
+	sort.Slice(subs, func(i, j int) bool { return subs[i] < subs[j] })
+	return subs
+}
+
+// RenderFig7 draws Figure 7: percentage of inter-rack VM assignments per
+// workload and algorithm.
+func (m *AzureMatrix) RenderFig7() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: Percentage of inter-rack VM assignments\n")
+	for _, sub := range m.subsetOrder() {
+		var bars []metrics.Bar
+		for _, alg := range Algorithms {
+			bars = append(bars, metrics.Bar{Label: alg, Value: m.Results[sub][alg].InterRackPct})
+		}
+		b.WriteString(metrics.RenderBars(fmt.Sprintf("  %v", sub), bars, 40, "%.2f%%"))
+	}
+	return b.String()
+}
+
+// RenderFig8 draws Figure 8: intra- and inter-rack network utilization.
+func (m *AzureMatrix) RenderFig8() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: Network utilization (peak, %)\n")
+	for _, which := range []string{"Intra", "Inter"} {
+		fmt.Fprintf(&b, "%s-rack network utilization:\n", which)
+		for _, sub := range m.subsetOrder() {
+			var bars []metrics.Bar
+			for _, alg := range Algorithms {
+				r := m.Results[sub][alg]
+				v := r.PeakIntraUtil
+				if which == "Inter" {
+					v = r.PeakInterUtil
+				}
+				bars = append(bars, metrics.Bar{Label: alg, Value: v})
+			}
+			b.WriteString(metrics.RenderBars(fmt.Sprintf("  %v", sub), bars, 40, "%.2f%%"))
+		}
+	}
+	return b.String()
+}
+
+// RenderFig9 draws Figure 9: peak power consumption of optical components.
+func (m *AzureMatrix) RenderFig9() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: Power consumption for optical components (peak, kW)\n")
+	for _, sub := range m.subsetOrder() {
+		var bars []metrics.Bar
+		for _, alg := range Algorithms {
+			bars = append(bars, metrics.Bar{Label: alg, Value: m.Results[sub][alg].PeakPowerW / 1000})
+		}
+		b.WriteString(metrics.RenderBars(fmt.Sprintf("  %v", sub), bars, 40, "%.3f kW"))
+	}
+	return b.String()
+}
+
+// RenderFig10 draws Figure 10: average CPU-RAM round-trip latency.
+func (m *AzureMatrix) RenderFig10() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: Average CPU-RAM round-trip delay (ns)\n")
+	for _, sub := range m.subsetOrder() {
+		var bars []metrics.Bar
+		for _, alg := range Algorithms {
+			bars = append(bars, metrics.Bar{
+				Label: alg,
+				Value: float64(m.Results[sub][alg].MeanCPURAMLatency.Nanoseconds()),
+			})
+		}
+		b.WriteString(metrics.RenderBars(fmt.Sprintf("  %v", sub), bars, 40, "%.0f ns"))
+	}
+	return b.String()
+}
+
+// RenderFig12 draws Figure 12: scheduler execution time on the practical
+// workloads (wall-clock spent inside Schedule calls).
+func (m *AzureMatrix) RenderFig12() string {
+	var b strings.Builder
+	b.WriteString("Figure 12: Execution time of practical workload (ms of scheduling)\n")
+	for _, sub := range m.subsetOrder() {
+		var bars []metrics.Bar
+		for _, alg := range Algorithms {
+			bars = append(bars, metrics.Bar{
+				Label: alg,
+				Value: float64(m.Results[sub][alg].SchedulingTime.Microseconds()) / 1000,
+			})
+		}
+		b.WriteString(metrics.RenderBars(fmt.Sprintf("  %v", sub), bars, 40, "%.2f ms"))
+	}
+	return b.String()
+}
+
+// Fig11 reproduces Figure 11: scheduler execution time on the synthetic
+// workload.
+type Fig11 struct {
+	Results map[string]*sim.Result
+}
+
+// RunFig11 executes the Figure 11 experiment (same runs as Figure 5; kept
+// separate so the figure can be regenerated alone).
+func (s Setup) RunFig11() (*Fig11, error) {
+	f5, err := s.RunFig5()
+	if err != nil {
+		return nil, err
+	}
+	return &Fig11{Results: f5.Results}, nil
+}
+
+// Render draws the figure.
+func (f *Fig11) Render() string {
+	var bars []metrics.Bar
+	for _, alg := range Algorithms {
+		bars = append(bars, metrics.Bar{
+			Label: alg,
+			Value: float64(f.Results[alg].SchedulingTime.Microseconds()) / 1000,
+		})
+	}
+	return metrics.RenderBars(
+		"Figure 11: Execution time of synthetic workload (ms of scheduling)",
+		bars, 40, "%.2f ms")
+}

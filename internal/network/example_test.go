@@ -1,0 +1,35 @@
+package network_test
+
+import (
+	"fmt"
+
+	"risa/internal/network"
+	"risa/internal/topology"
+	"risa/internal/units"
+)
+
+func ExampleFabric_AllocateFlow() {
+	cl, err := topology.New(topology.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fab, err := network.NewFabric(cl, network.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	// A 20 Gb/s CPU-RAM circuit across racks 0 and 5.
+	src := cl.Rack(0).BoxesOf(units.CPU)[0]
+	dst := cl.Rack(5).BoxesOf(units.RAM)[0]
+	fl, err := fab.AllocateFlow(src, dst, 20, network.FirstFit)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("inter-rack:", fl.InterRack())
+	fmt.Println("link hops:", fl.LinkTraversals())
+	fmt.Println("switches:", fl.BoxSwitchCrossings(), fl.RackSwitchCrossings(), fl.InterRackSwitchCrossings())
+	fab.ReleaseFlow(fl)
+	// Output:
+	// inter-rack: true
+	// link hops: 6
+	// switches: 2 2 1
+}

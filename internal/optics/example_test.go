@@ -1,0 +1,42 @@
+package optics_test
+
+import (
+	"fmt"
+	"time"
+
+	"risa/internal/optics"
+)
+
+func ExampleStages() {
+	for _, ports := range []int{64, 256, 512} {
+		s, err := optics.Stages(ports)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%d-port Beneš: %d stages\n", ports, s)
+	}
+	// Output:
+	// 64-port Beneš: 11 stages
+	// 256-port Beneš: 15 stages
+	// 512-port Beneš: 17 stages
+}
+
+func ExampleConfig_SwitchEnergy() {
+	cfg := optics.DefaultConfig()
+	// Equation 1 for a path through the rack switch held for one hour.
+	e, err := cfg.SwitchEnergy(256, time.Hour)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f J\n", e)
+	// Output:
+	// 1101.8 J
+}
+
+func ExampleConfig_TransceiverPower() {
+	cfg := optics.DefaultConfig()
+	// A fully loaded 200 Gb/s link: 22.5 pJ/bit × 200e9 b/s.
+	fmt.Printf("%.2f W\n", cfg.TransceiverPower(200))
+	// Output:
+	// 4.50 W
+}

@@ -1,0 +1,235 @@
+package optics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"risa/internal/units"
+)
+
+func TestStages(t *testing.T) {
+	cases := []struct {
+		ports int
+		want  int
+	}{
+		{2, 1},
+		{4, 3},
+		{8, 5},
+		{16, 7},
+		{32, 9},
+		{64, 11},
+		{128, 13},
+		{256, 15},
+		{512, 17},
+	}
+	for _, c := range cases {
+		got, err := Stages(c.ports)
+		if err != nil || got != c.want {
+			t.Errorf("Stages(%d) = %d, %v; want %d", c.ports, got, err, c.want)
+		}
+	}
+}
+
+func TestStagesRejectsBadPorts(t *testing.T) {
+	for _, p := range []int{0, 1, 3, 6, 100, -8} {
+		if _, err := Stages(p); err == nil {
+			t.Errorf("Stages(%d) should fail", p)
+		}
+	}
+}
+
+func TestPathCellsMatchesPaperSwitches(t *testing.T) {
+	// The three switch classes of §5.2: 64, 256, 512 ports.
+	for ports, want := range map[int]int{64: 11, 256: 15, 512: 17} {
+		got, err := PathCells(ports)
+		if err != nil || got != want {
+			t.Errorf("PathCells(%d) = %d, want %d", ports, got, want)
+		}
+	}
+}
+
+func TestTotalCells(t *testing.T) {
+	// 8-port Beneš: 5 stages x 4 cells = 20 cells.
+	got, err := TotalCells(8)
+	if err != nil || got != 20 {
+		t.Errorf("TotalCells(8) = %d, want 20", got)
+	}
+	// 64-port: 11 stages x 32 cells.
+	got, err = TotalCells(64)
+	if err != nil || got != 352 {
+		t.Errorf("TotalCells(64) = %d, want 352", got)
+	}
+	if _, err := TotalCells(7); err == nil {
+		t.Error("TotalCells(7) should fail")
+	}
+}
+
+func TestDefaultConfigConstants(t *testing.T) {
+	c := DefaultConfig()
+	if c.PTrimCell != 22.67e-3 {
+		t.Errorf("PTrimCell = %g", c.PTrimCell)
+	}
+	if c.PSwCell != 13.75e-3 {
+		t.Errorf("PSwCell = %g", c.PSwCell)
+	}
+	if c.Alpha != 0.9 {
+		t.Errorf("Alpha = %g", c.Alpha)
+	}
+	if c.TransceiverJPerBit != 22.5e-12 {
+		t.Errorf("TransceiverJPerBit = %g", c.TransceiverJPerBit)
+	}
+	if c.BoxPorts != 64 || c.RackPorts != 256 || c.InterRackPorts != 512 {
+		t.Error("switch port counts should match §5.2")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.PTrimCell = 0 },
+		func(c *Config) { c.PSwCell = -1 },
+		func(c *Config) { c.Alpha = 0.4 },
+		func(c *Config) { c.Alpha = 1.1 },
+		func(c *Config) { c.CellLatency = 0 },
+		func(c *Config) { c.TransceiverJPerBit = 0 },
+		func(c *Config) { c.BoxPorts = 63 },
+		func(c *Config) { c.RackPorts = 0 },
+		func(c *Config) { c.InterRackPorts = 3 },
+	}
+	for i, m := range mutations {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+}
+
+func TestSwitchLatencyScalesWithSize(t *testing.T) {
+	c := DefaultConfig()
+	lat64, err := c.SwitchLatency(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat512, err := c.SwitchLatency(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat64 != 1100*time.Nanosecond {
+		t.Errorf("lat_sw(64) = %v, want 1.1µs", lat64)
+	}
+	if lat512 != 1700*time.Nanosecond {
+		t.Errorf("lat_sw(512) = %v, want 1.7µs", lat512)
+	}
+	if lat512 <= lat64 {
+		t.Error("latency must grow with switch size")
+	}
+	if _, err := c.SwitchLatency(9); err == nil {
+		t.Error("bad port count should fail")
+	}
+}
+
+func TestPathTrimmingPower(t *testing.T) {
+	c := DefaultConfig()
+	// 64-port: 0.9 x 11 x 22.67 mW = 224.43 mW.
+	got, err := c.PathTrimmingPower(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9 * 11 * 22.67e-3
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PathTrimmingPower(64) = %g, want %g", got, want)
+	}
+	if _, err := c.PathTrimmingPower(10); err == nil {
+		t.Error("bad port count should fail")
+	}
+}
+
+func TestPathSwitchingEnergy(t *testing.T) {
+	c := DefaultConfig()
+	// 64-port: (11/2) x 13.75 mW x 1.1 µs.
+	got, err := c.PathSwitchingEnergy(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 11.0 / 2 * 13.75e-3 * 1.1e-6
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("PathSwitchingEnergy(64) = %g, want %g", got, want)
+	}
+	if _, err := c.PathSwitchingEnergy(10); err == nil {
+		t.Error("bad port count should fail")
+	}
+}
+
+func TestSwitchEnergyEquation1(t *testing.T) {
+	c := DefaultConfig()
+	lifetime := 10 * time.Second
+	got, err := c.SwitchEnergy(256, lifetime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, _ := c.PathSwitchingEnergy(256)
+	trim, _ := c.PathTrimmingPower(256)
+	want := setup + trim*10
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SwitchEnergy = %g, want %g", got, want)
+	}
+	// Trimming dominates for any realistic lifetime.
+	if got < trim*10 {
+		t.Error("energy must at least cover trimming")
+	}
+	if _, err := c.SwitchEnergy(10, lifetime); err == nil {
+		t.Error("bad port count should fail")
+	}
+}
+
+func TestTransceiverPower(t *testing.T) {
+	c := DefaultConfig()
+	// A fully loaded 200 Gb/s link: 22.5 pJ/bit x 200e9 b/s = 4.5 W.
+	got := c.TransceiverPower(units.LinkCapacity)
+	if math.Abs(got-4.5) > 1e-9 {
+		t.Errorf("TransceiverPower(200Gb/s) = %g W, want 4.5", got)
+	}
+	if c.TransceiverPower(0) != 0 {
+		t.Error("zero bandwidth should cost nothing")
+	}
+}
+
+// Property: switch energy is monotone in lifetime and in switch size.
+func TestSwitchEnergyMonotoneProperty(t *testing.T) {
+	c := DefaultConfig()
+	f := func(secs1, secs2 uint16) bool {
+		t1 := time.Duration(secs1) * time.Second
+		t2 := t1 + time.Duration(secs2)*time.Second
+		e64a, _ := c.SwitchEnergy(64, t1)
+		e64b, _ := c.SwitchEnergy(64, t2)
+		e512, _ := c.SwitchEnergy(512, t1)
+		return e64a <= e64b && e64a <= e512
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Stages inverts correctly — an N-port switch has an odd number
+// of stages and grows by 2 when N doubles.
+func TestStagesGrowthProperty(t *testing.T) {
+	prev := 0
+	for ports := 2; ports <= 4096; ports *= 2 {
+		s, err := Stages(ports)
+		if err != nil {
+			t.Fatalf("Stages(%d): %v", ports, err)
+		}
+		if s%2 != 1 {
+			t.Errorf("Stages(%d) = %d, want odd", ports, s)
+		}
+		if prev != 0 && s != prev+2 {
+			t.Errorf("Stages(%d) = %d, want %d", ports, s, prev+2)
+		}
+		prev = s
+	}
+}

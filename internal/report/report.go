@@ -1,0 +1,121 @@
+// Package report serializes experiment results as JSON so runs can be
+// archived, diffed across machines, or consumed by external plotting
+// tools (the ASCII figures of cmd/risasim are for humans; this is for
+// pipelines).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"risa/internal/sim"
+	"risa/internal/units"
+)
+
+// Version identifies the report schema.
+const Version = 1
+
+// Run is the JSON projection of one simulation result.
+type Run struct {
+	Algorithm string `json:"algorithm"`
+	Workload  string `json:"workload"`
+
+	Scheduled    int     `json:"scheduled"`
+	Dropped      int     `json:"dropped"`
+	InterRack    int     `json:"inter_rack"`
+	InterRackPct float64 `json:"inter_rack_pct"`
+
+	AvgUtilPct  map[string]float64 `json:"avg_util_pct"`
+	PeakUtilPct map[string]float64 `json:"peak_util_pct"`
+
+	AvgIntraUtilPct  float64 `json:"avg_intra_util_pct"`
+	PeakIntraUtilPct float64 `json:"peak_intra_util_pct"`
+	AvgInterUtilPct  float64 `json:"avg_inter_util_pct"`
+	PeakInterUtilPct float64 `json:"peak_inter_util_pct"`
+
+	MeanCPURAMLatencyNs int64 `json:"mean_cpu_ram_latency_ns"`
+
+	PeakPowerW float64 `json:"peak_power_w"`
+	AvgPowerW  float64 `json:"avg_power_w"`
+	EnergyJ    float64 `json:"energy_j"`
+	Eq1EnergyJ float64 `json:"eq1_energy_j"`
+
+	SchedulingTimeUs int64 `json:"scheduling_time_us"`
+	Makespan         int64 `json:"makespan_tu"`
+}
+
+// FromResult converts a simulation result.
+func FromResult(r *sim.Result) Run {
+	run := Run{
+		Algorithm:           r.Algorithm,
+		Workload:            r.Workload,
+		Scheduled:           r.Scheduled,
+		Dropped:             r.Dropped,
+		InterRack:           r.InterRack,
+		InterRackPct:        r.InterRackPct,
+		AvgUtilPct:          make(map[string]float64, units.NumResources),
+		PeakUtilPct:         make(map[string]float64, units.NumResources),
+		AvgIntraUtilPct:     r.AvgIntraUtil,
+		PeakIntraUtilPct:    r.PeakIntraUtil,
+		AvgInterUtilPct:     r.AvgInterUtil,
+		PeakInterUtilPct:    r.PeakInterUtil,
+		MeanCPURAMLatencyNs: r.MeanCPURAMLatency.Nanoseconds(),
+		PeakPowerW:          r.PeakPowerW,
+		AvgPowerW:           r.AvgPowerW,
+		EnergyJ:             r.EnergyJ,
+		Eq1EnergyJ:          r.Eq1EnergyJ,
+		SchedulingTimeUs:    r.SchedulingTime.Microseconds(),
+		Makespan:            r.Makespan,
+	}
+	for _, k := range units.Resources() {
+		run.AvgUtilPct[k.String()] = r.AvgUtil[k]
+		run.PeakUtilPct[k.String()] = r.PeakUtil[k]
+	}
+	return run
+}
+
+// Document is a full experiment archive: every run of a risasim
+// invocation plus provenance.
+type Document struct {
+	SchemaVersion int       `json:"schema_version"`
+	GeneratedAt   time.Time `json:"generated_at"`
+	Seed          int64     `json:"seed"`
+	// Runs is keyed "workload/algorithm".
+	Runs map[string]Run `json:"runs"`
+}
+
+// NewDocument starts an empty archive.
+func NewDocument(seed int64) *Document {
+	return &Document{
+		SchemaVersion: Version,
+		GeneratedAt:   time.Now().UTC(),
+		Seed:          seed,
+		Runs:          make(map[string]Run),
+	}
+}
+
+// Add records one result under "workload/algorithm".
+func (d *Document) Add(r *sim.Result) {
+	d.Runs[fmt.Sprintf("%s/%s", r.Workload, r.Algorithm)] = FromResult(r)
+}
+
+// Write emits the document as indented JSON.
+func (d *Document) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Read parses a document written by Write and validates the schema.
+func Read(r io.Reader) (*Document, error) {
+	var d Document
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	if d.SchemaVersion != Version {
+		return nil, fmt.Errorf("report: schema version %d, want %d", d.SchemaVersion, Version)
+	}
+	return &d, nil
+}

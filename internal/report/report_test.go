@@ -1,0 +1,102 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"risa/internal/sim"
+	"risa/internal/units"
+)
+
+func sampleResult() *sim.Result {
+	r := &sim.Result{
+		Algorithm:         "RISA",
+		Workload:          "Azure-3000",
+		Scheduled:         3000,
+		Dropped:           0,
+		InterRack:         0,
+		InterRackPct:      0,
+		AvgIntraUtil:      5.5,
+		PeakIntraUtil:     8.3,
+		MeanCPURAMLatency: 110 * time.Nanosecond,
+		PeakPowerW:        3499,
+		AvgPowerW:         2100,
+		EnergyJ:           1e8,
+		Eq1EnergyJ:        9e7,
+		SchedulingTime:    4 * time.Millisecond,
+		Makespan:          120000,
+	}
+	r.AvgUtil[units.CPU] = 3.1
+	r.PeakUtil[units.Storage] = 63.9
+	return r
+}
+
+func TestFromResult(t *testing.T) {
+	run := FromResult(sampleResult())
+	if run.Algorithm != "RISA" || run.Workload != "Azure-3000" {
+		t.Error("labels lost")
+	}
+	if run.MeanCPURAMLatencyNs != 110 {
+		t.Errorf("latency = %d", run.MeanCPURAMLatencyNs)
+	}
+	if run.SchedulingTimeUs != 4000 {
+		t.Errorf("sched time = %d", run.SchedulingTimeUs)
+	}
+	if run.AvgUtilPct["CPU"] != 3.1 || run.PeakUtilPct["STO"] != 63.9 {
+		t.Errorf("util maps wrong: %v / %v", run.AvgUtilPct, run.PeakUtilPct)
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	d := NewDocument(7)
+	d.Add(sampleResult())
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 7 || got.SchemaVersion != Version {
+		t.Errorf("provenance lost: %+v", got)
+	}
+	run, ok := got.Runs["Azure-3000/RISA"]
+	if !ok {
+		t.Fatalf("run key missing; have %v", got.Runs)
+	}
+	if run.PeakPowerW != 3499 {
+		t.Errorf("power = %g", run.PeakPowerW)
+	}
+}
+
+func TestReadRejectsWrongSchema(t *testing.T) {
+	in := `{"schema_version": 99, "runs": {}}`
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Error("wrong schema version should fail")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestWriteIsIndentedJSON(t *testing.T) {
+	d := NewDocument(1)
+	d.Add(sampleResult())
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\n  \"runs\"") {
+		t.Error("output should be indented")
+	}
+	if !strings.Contains(out, "\"inter_rack_pct\"") {
+		t.Error("snake_case fields expected")
+	}
+}

@@ -1,0 +1,230 @@
+// Package sched defines the vocabulary shared by every scheduling
+// algorithm in the repository: the mutable datacenter state (compute
+// cluster + optical fabric), the result of placing one VM, the transaction
+// that allocates compute and network together with rollback, and the
+// Scheduler interface the simulator drives.
+//
+// The algorithms themselves live in package baseline (NULB, NALB — Zervas
+// et al.) and package core (RISA, RISA-BF — the paper's contribution).
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"risa/internal/network"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// CPU-RAM round-trip latencies assumed by the paper (§5.2, from Zervas et
+// al.): 110 ns within a rack, 330 ns across racks.
+const (
+	IntraRackCPURAMLatency = 110 * time.Nanosecond
+	InterRackCPURAMLatency = 330 * time.Nanosecond
+)
+
+// State bundles the mutable planes every scheduler operates on.
+type State struct {
+	Cluster *topology.Cluster
+	Fabric  *network.Fabric
+}
+
+// NewState builds a fresh datacenter from the two configurations.
+func NewState(tcfg topology.Config, ncfg network.Config) (*State, error) {
+	cl, err := topology.New(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	fab, err := network.NewFabric(cl, ncfg)
+	if err != nil {
+		return nil, err
+	}
+	return &State{Cluster: cl, Fabric: fab}, nil
+}
+
+// Units returns the unit configuration of the underlying cluster.
+func (s *State) Units() units.Config { return s.Cluster.Config().Units }
+
+// Assignment records everything a scheduled VM holds so it can be
+// inspected (inter-rack? latency?) and released.
+type Assignment struct {
+	VM workload.VM
+
+	// Compute placements; a placement is zero when the VM requests none
+	// of that resource.
+	CPU, RAM, STO topology.Placement
+
+	// Optical circuits; nil when either endpoint requests nothing.
+	CPURAMFlow, RAMSTOFlow *network.Flow
+}
+
+// InterRack reports whether the assignment spans racks at all, i.e. the
+// paper's "inter-rack VM assignment" (Figures 5 and 7).
+func (a *Assignment) InterRack() bool {
+	racks := make([]int, 0, 3)
+	for _, p := range []topology.Placement{a.CPU, a.RAM, a.STO} {
+		if !p.IsZero() {
+			racks = append(racks, p.Box.Rack())
+		}
+	}
+	for _, r := range racks[1:] {
+		if r != racks[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// CPURAMLatency returns the round-trip latency between the VM's CPU and
+// RAM placements under the paper's constants. VMs without both placements
+// report the intra-rack figure (their traffic never leaves a box).
+func (a *Assignment) CPURAMLatency() time.Duration {
+	if a.CPU.IsZero() || a.RAM.IsZero() {
+		return IntraRackCPURAMLatency
+	}
+	if a.CPU.Box.Rack() != a.RAM.Box.Rack() {
+		return InterRackCPURAMLatency
+	}
+	return IntraRackCPURAMLatency
+}
+
+// InterPod reports whether any of the assignment's flows crosses pods
+// (always false on the paper's two-tier fabric; see the three-tier
+// extension in package network).
+func (a *Assignment) InterPod() bool {
+	for _, fl := range a.Flows() {
+		if fl.InterPod() {
+			return true
+		}
+	}
+	return false
+}
+
+// Flows returns the assignment's non-nil flows.
+func (a *Assignment) Flows() []*network.Flow {
+	var out []*network.Flow
+	if a.CPURAMFlow != nil {
+		out = append(out, a.CPURAMFlow)
+	}
+	if a.RAMSTOFlow != nil {
+		out = append(out, a.RAMSTOFlow)
+	}
+	return out
+}
+
+// Scheduler is the contract the simulator drives. Implementations are
+// stateful (they own placement cursors and bind to one State) and not safe
+// for concurrent use.
+type Scheduler interface {
+	// Name returns the algorithm's paper name (NULB, NALB, RISA, RISA-BF).
+	Name() string
+	// Schedule places the VM or returns an error describing why it was
+	// dropped. A failed Schedule leaves the state untouched.
+	Schedule(vm workload.VM) (*Assignment, error)
+	// Release returns an assignment's compute and network resources.
+	Release(a *Assignment)
+}
+
+// BoxTriple names the chosen box per resource; entries for zero-request
+// resources are nil.
+type BoxTriple [units.NumResources]*topology.Box
+
+// AllocateVM is the shared placement transaction: it carves the VM's
+// compute out of the chosen boxes and reserves both optical flows under
+// the given link policy. On any failure everything is rolled back and the
+// state is exactly as before.
+func (s *State) AllocateVM(vm workload.VM, boxes BoxTriple, policy network.Policy) (*Assignment, error) {
+	a := &Assignment{VM: vm}
+	cfg := s.Units()
+	rollback := func() {
+		s.Fabric.ReleaseFlow(a.RAMSTOFlow)
+		s.Fabric.ReleaseFlow(a.CPURAMFlow)
+		s.Cluster.Release(a.STO)
+		s.Cluster.Release(a.RAM)
+		s.Cluster.Release(a.CPU)
+	}
+	place := func(r units.Resource, dst *topology.Placement) error {
+		if vm.Req[r] == 0 {
+			return nil
+		}
+		if boxes[r] == nil {
+			return fmt.Errorf("sched: VM %d requests %v but no box chosen", vm.ID, r)
+		}
+		if boxes[r].Kind() != r {
+			return fmt.Errorf("sched: VM %d: box %v chosen for %v", vm.ID, boxes[r], r)
+		}
+		p, err := s.Cluster.Allocate(boxes[r], vm.Req[r])
+		if err != nil {
+			return err
+		}
+		*dst = p
+		return nil
+	}
+	for _, step := range []struct {
+		r   units.Resource
+		dst *topology.Placement
+	}{{units.CPU, &a.CPU}, {units.RAM, &a.RAM}, {units.Storage, &a.STO}} {
+		if err := place(step.r, step.dst); err != nil {
+			rollback()
+			return nil, err
+		}
+	}
+	if !a.CPU.IsZero() && !a.RAM.IsZero() {
+		fl, err := s.Fabric.AllocateFlow(a.CPU.Box, a.RAM.Box, cfg.CPURAMDemand(vm.Req), policy)
+		if err != nil {
+			rollback()
+			return nil, err
+		}
+		a.CPURAMFlow = fl
+	}
+	if !a.RAM.IsZero() && !a.STO.IsZero() {
+		fl, err := s.Fabric.AllocateFlow(a.RAM.Box, a.STO.Box, cfg.RAMSTODemand(vm.Req), policy)
+		if err != nil {
+			rollback()
+			return nil, err
+		}
+		a.RAMSTOFlow = fl
+	}
+	return a, nil
+}
+
+// ReleaseVM returns an assignment's resources; it is the shared Release
+// implementation.
+func (s *State) ReleaseVM(a *Assignment) {
+	if a == nil {
+		return
+	}
+	s.Fabric.ReleaseFlow(a.CPURAMFlow)
+	s.Fabric.ReleaseFlow(a.RAMSTOFlow)
+	a.CPURAMFlow, a.RAMSTOFlow = nil, nil
+	s.Cluster.Release(a.CPU)
+	s.Cluster.Release(a.RAM)
+	s.Cluster.Release(a.STO)
+	a.CPU, a.RAM, a.STO = topology.Placement{}, topology.Placement{}, topology.Placement{}
+}
+
+// RackMask restricts a search to a subset of racks; nil allows every rack.
+type RackMask []bool
+
+// Allows reports whether rack i passes the mask.
+func (m RackMask) Allows(i int) bool { return m == nil || (i < len(m) && m[i]) }
+
+// ScarcestResource returns the requested resource with the highest
+// contention ratio (request over cluster-wide availability), the first
+// step of NULB/NALB and of RISA's SUPER_RACK fallback. Ties break in
+// canonical resource order; resources the VM does not request are skipped.
+func ScarcestResource(cl *topology.Cluster, req units.Vector) (units.Resource, bool) {
+	best := units.Resource(-1)
+	bestCR := -1.0
+	for _, r := range units.Resources() {
+		if req[r] <= 0 {
+			continue
+		}
+		if cr := cl.ContentionRatio(r, req[r]); cr > bestCR {
+			best, bestCR = r, cr
+		}
+	}
+	return best, best >= 0
+}

@@ -1,0 +1,181 @@
+// Package schedtest is a reusable conformance suite for sched.Scheduler
+// implementations: every algorithm in the repository (and any future one)
+// must satisfy the same behavioral contract — failed schedules leave the
+// datacenter untouched, releases restore exactly what was taken,
+// scheduling is deterministic, and resource accounting is conserved under
+// churn. The baseline and core packages each run this suite over their
+// schedulers.
+package schedtest
+
+import (
+	"math/rand"
+	"testing"
+
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// Factory builds a scheduler bound to the given state.
+type Factory func(st *sched.State) sched.Scheduler
+
+// Conformance runs the full contract suite against the factory.
+func Conformance(t *testing.T, name string, mk Factory) {
+	t.Run(name+"/ScheduleRelease", func(t *testing.T) { scheduleRelease(t, mk) })
+	t.Run(name+"/FailureLeavesState", func(t *testing.T) { failureLeavesState(t, mk) })
+	t.Run(name+"/Deterministic", func(t *testing.T) { deterministic(t, mk) })
+	t.Run(name+"/ChurnConservation", func(t *testing.T) { churnConservation(t, mk) })
+	t.Run(name+"/RespectsBoxFailure", func(t *testing.T) { respectsBoxFailure(t, mk) })
+}
+
+func newState(t *testing.T) *sched.State {
+	t.Helper()
+	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func snapshot(st *sched.State) [5]int64 {
+	return [5]int64{
+		int64(st.Cluster.TotalFree(units.CPU)),
+		int64(st.Cluster.TotalFree(units.RAM)),
+		int64(st.Cluster.TotalFree(units.Storage)),
+		int64(st.Fabric.IntraRackFree()),
+		int64(st.Fabric.InterRackFree()),
+	}
+}
+
+func checkAll(t *testing.T, st *sched.State) {
+	t.Helper()
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Fatalf("cluster invariants: %v", err)
+	}
+	if err := st.Fabric.CheckInvariants(); err != nil {
+		t.Fatalf("fabric invariants: %v", err)
+	}
+}
+
+// scheduleRelease: a successful schedule consumes resources; releasing it
+// restores the exact prior state.
+func scheduleRelease(t *testing.T, mk Factory) {
+	st := newState(t)
+	s := mk(st)
+	before := snapshot(st)
+	a, err := s.Schedule(workload.VM{ID: 1, Lifetime: 10, Req: units.Vec(8, 16, 128)})
+	if err != nil {
+		t.Fatalf("fresh cluster must accept a typical VM: %v", err)
+	}
+	if snapshot(st) == before {
+		t.Fatal("schedule consumed nothing")
+	}
+	s.Release(a)
+	if snapshot(st) != before {
+		t.Fatal("release did not restore the prior state")
+	}
+	checkAll(t, st)
+}
+
+// failureLeavesState: an impossible request must not change anything.
+func failureLeavesState(t *testing.T, mk Factory) {
+	st := newState(t)
+	s := mk(st)
+	before := snapshot(st)
+	if _, err := s.Schedule(workload.VM{ID: 1, Lifetime: 10, Req: units.Vec(1<<40, 16, 128)}); err == nil {
+		t.Fatal("impossible request must fail")
+	}
+	if snapshot(st) != before {
+		t.Fatal("failed schedule disturbed the state")
+	}
+	checkAll(t, st)
+}
+
+// deterministic: two fresh schedulers on identical states produce
+// identical placements for an identical request stream.
+func deterministic(t *testing.T, mk Factory) {
+	place := func() []string {
+		st := newState(t)
+		s := mk(st)
+		rng := rand.New(rand.NewSource(42))
+		var out []string
+		for i := 0; i < 200; i++ {
+			vm := workload.VM{ID: i, Lifetime: 10, Req: units.Vec(
+				units.Amount(rng.Int63n(32)+1),
+				units.Amount(rng.Int63n(32)+1),
+				128)}
+			a, err := s.Schedule(vm)
+			if err != nil {
+				out = append(out, "drop")
+				continue
+			}
+			out = append(out, a.CPU.Box.String()+a.RAM.Box.String()+a.STO.Box.String())
+		}
+		return out
+	}
+	a, b := place(), place()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement %d differs between identical runs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// churnConservation: random schedule/release interleavings preserve all
+// invariants, and releasing everything restores the pristine state.
+func churnConservation(t *testing.T, mk Factory) {
+	st := newState(t)
+	s := mk(st)
+	before := snapshot(st)
+	rng := rand.New(rand.NewSource(7))
+	var live []*sched.Assignment
+	for step := 0; step < 600; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			s.Release(live[i])
+			live = append(live[:i], live[i+1:]...)
+		} else {
+			vm := workload.VM{ID: step, Lifetime: 10, Req: units.Vec(
+				units.Amount(rng.Int63n(32)+1),
+				units.Amount(rng.Int63n(64)+1),
+				128)}
+			if a, err := s.Schedule(vm); err == nil {
+				live = append(live, a)
+			}
+		}
+	}
+	checkAll(t, st)
+	for _, a := range live {
+		s.Release(a)
+	}
+	if snapshot(st) != before {
+		t.Fatal("full release did not restore the pristine state")
+	}
+	checkAll(t, st)
+}
+
+// respectsBoxFailure: no scheduler may place anything on a failed box.
+func respectsBoxFailure(t *testing.T, mk Factory) {
+	st := newState(t)
+	s := mk(st)
+	// Fail all of rack 0 and rack 1.
+	for _, ri := range []int{0, 1} {
+		for _, b := range st.Cluster.Rack(ri).Boxes() {
+			st.Cluster.SetBoxFailed(b, true)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		a, err := s.Schedule(workload.VM{ID: i, Lifetime: 10, Req: units.Vec(8, 16, 128)})
+		if err != nil {
+			continue
+		}
+		for _, p := range []topology.Placement{a.CPU, a.RAM, a.STO} {
+			if p.Box.Rack() < 2 {
+				t.Fatalf("VM %d placed on failed rack %d", i, p.Box.Rack())
+			}
+		}
+	}
+	checkAll(t, st)
+}

@@ -1,0 +1,41 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"risa/internal/core"
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/sim"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+func ExampleRunner_Run() {
+	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	runner, err := sim.NewRunner(st, core.New(st), sim.Config{})
+	if err != nil {
+		panic(err)
+	}
+	tr := &workload.Trace{Name: "demo", VMs: []workload.VM{
+		{ID: 0, Arrival: 0, Lifetime: 100, Req: units.Vec(8, 16, 128)},
+		{ID: 1, Arrival: 50, Lifetime: 100, Req: units.Vec(4, 8, 128)},
+	}}
+	res, err := runner.Run(tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scheduled:", res.Scheduled)
+	fmt.Println("inter-rack:", res.InterRack)
+	fmt.Println("makespan:", res.Makespan)
+	fmt.Println("mean CPU-RAM RTT:", res.MeanCPURAMLatency)
+	// Output:
+	// scheduled: 2
+	// inter-rack: 0
+	// makespan: 150
+	// mean CPU-RAM RTT: 110ns
+}

@@ -1,0 +1,369 @@
+// Package sim is the discrete-event simulator that drives one scheduling
+// algorithm over one workload trace against one datacenter state.
+//
+// Events are VM arrivals (from the trace) and departures (scheduled when a
+// VM is placed). Between events the simulator integrates the
+// time-weighted signals the paper reports: compute utilization per
+// resource (§5.1's 64.66/65.11/31.72 %), intra- and inter-rack network
+// utilization (Figure 8), and optical power (Figure 9). Departures at the
+// same timestamp are processed before arrivals so releasing VMs make room
+// for arriving ones.
+//
+// One simulated time unit is modeled as one second for energy accounting;
+// the paper leaves the unit unspecified and only relative comparisons
+// matter.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"risa/internal/metrics"
+	"risa/internal/optics"
+	"risa/internal/power"
+	"risa/internal/sched"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// SecondsPerTimeUnit converts trace time units into seconds for energy
+// integration.
+const SecondsPerTimeUnit = 1.0
+
+// eventKind orders simultaneous events: injected faults fire first, then
+// departures free resources, then arrivals claim them.
+type eventKind int
+
+const (
+	inject eventKind = iota
+	departure
+	arrival
+)
+
+// event is one heap entry.
+type event struct {
+	t    int64
+	kind eventKind
+	seq  int // tie-break: FIFO among equal (t, kind)
+	vm   workload.VM
+	a    *sched.Assignment     // departure only
+	do   func(st *sched.State) // inject only
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Result aggregates everything one run produces. All percentages are in
+// [0, 100].
+type Result struct {
+	Algorithm string
+	Workload  string
+
+	Scheduled int
+	Dropped   int
+
+	// InterRack counts assignments spanning racks (Figures 5 and 7);
+	// InterPod counts assignments spanning pods (three-tier extension
+	// only, always 0 on the paper's fabric).
+	InterRack    int
+	InterRackPct float64
+	InterPod     int
+
+	// Time-averaged and peak compute utilization per resource, percent.
+	AvgUtil  [units.NumResources]float64
+	PeakUtil [units.NumResources]float64
+
+	// Network utilization, percent (Figure 8).
+	AvgIntraUtil, PeakIntraUtil float64
+	AvgInterUtil, PeakInterUtil float64
+
+	// Mean CPU-RAM round-trip latency over scheduled VMs (Figure 10).
+	MeanCPURAMLatency time.Duration
+
+	// Optical power (Figure 9) and integrated energy.
+	PeakPowerW float64
+	AvgPowerW  float64
+	EnergyJ    float64
+	// Eq1EnergyJ is the per-VM Equation 1 energy summed over completed
+	// VMs (switch setup + trimming over the actual lifetime), an
+	// alternative view of the same physics.
+	Eq1EnergyJ float64
+
+	// SchedulingTime is the wall-clock time spent inside Schedule calls
+	// (Figures 11 and 12).
+	SchedulingTime time.Duration
+
+	// Makespan is the simulated time of the last event.
+	Makespan int64
+
+	// Samples is the optional time series (see Config.SampleEvery).
+	Samples []Sample
+
+	// Retry-queue statistics (see Config.RetryDropped). Enqueued counts
+	// arrivals that found no capacity and waited; RetrySucceeded counts
+	// those eventually placed; MeanWait is their average queue time in
+	// time units. VMs still waiting at the end of the run count as
+	// Dropped.
+	Enqueued       int
+	RetrySucceeded int
+	MeanWait       float64
+}
+
+// Sample is one point of the optional utilization/power time series.
+type Sample struct {
+	T         int64                       // simulation time
+	Util      [units.NumResources]float64 // compute utilization, percent
+	IntraUtil float64                     // intra-rack network utilization, percent
+	InterUtil float64                     // inter-rack network utilization, percent
+	PowerW    float64                     // aggregate optical power
+	Resident  int                         // VMs currently placed
+}
+
+// Injection is a timed state mutation — a fault (or repair) fired during
+// the run, e.g. failing a box or link at time T. Injections at the same
+// timestamp run before departures and arrivals.
+type Injection struct {
+	T  int64
+	Do func(st *sched.State)
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Power model; nil uses optics defaults.
+	PowerModel *power.Model
+	// SampleEvery, when positive, records one Sample whenever simulated
+	// time crosses a multiple of this interval (plus one final sample at
+	// makespan). Zero disables the time series.
+	SampleEvery int64
+	// Injections are applied at their timestamps, in slice order among
+	// equal times.
+	Injections []Injection
+	// RetryDropped, when set, turns the paper's drop-on-failure semantics
+	// into a FIFO wait queue (an extension beyond the paper): arrivals
+	// that cannot be placed wait, and every departure retries the queue
+	// head-first. A waiting VM's lifetime starts when it is placed.
+	RetryDropped bool
+}
+
+// Runner binds a scheduler and a state and runs traces.
+type Runner struct {
+	st          *sched.State
+	sch         sched.Scheduler
+	model       *power.Model
+	sampleEvery int64
+	injections  []Injection
+	retry       bool
+}
+
+// NewRunner builds a Runner. The scheduler must be bound to st.
+func NewRunner(st *sched.State, sch sched.Scheduler, cfg Config) (*Runner, error) {
+	m := cfg.PowerModel
+	if m == nil {
+		var err error
+		m, err = power.NewModel(optics.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.SampleEvery < 0 {
+		return nil, fmt.Errorf("sim: negative sample interval %d", cfg.SampleEvery)
+	}
+	for i, inj := range cfg.Injections {
+		if inj.T < 0 || inj.Do == nil {
+			return nil, fmt.Errorf("sim: injection %d invalid (t=%d, do=%v)", i, inj.T, inj.Do != nil)
+		}
+	}
+	return &Runner{
+		st: st, sch: sch, model: m,
+		sampleEvery: cfg.SampleEvery,
+		injections:  cfg.Injections,
+		retry:       cfg.RetryDropped,
+	}, nil
+}
+
+// Run plays the whole trace and returns the aggregated result. The state
+// is left as the trace leaves it (all VMs depart by trace makespan, so a
+// full run restores the initial state).
+func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: r.sch.Name(), Workload: tr.Name}
+	acct := power.NewAccountant(r.model)
+
+	var h eventHeap
+	seq := 0
+	for _, vm := range tr.VMs {
+		h = append(h, event{t: vm.Arrival, kind: arrival, seq: seq, vm: vm})
+		seq++
+	}
+	for _, inj := range r.injections {
+		h = append(h, event{t: inj.T, kind: inject, seq: seq, do: inj.Do})
+		seq++
+	}
+	heap.Init(&h)
+
+	var utilW [units.NumResources]metrics.TimeWeighted
+	var intraW, interW, powerW metrics.TimeWeighted
+	var latencySum time.Duration
+	var lastT int64
+	resident := 0
+	nextSample := int64(0)
+	var waiting []workload.VM // retry queue (FIFO), arrival-stamped
+	var waitSum float64
+
+	place := func(vm workload.VM, now int64) bool {
+		start := time.Now()
+		a, err := r.sch.Schedule(vm)
+		res.SchedulingTime += time.Since(start)
+		if err != nil {
+			return false
+		}
+		res.Scheduled++
+		resident++
+		if a.InterRack() {
+			res.InterRack++
+		}
+		if a.InterPod() {
+			res.InterPod++
+		}
+		latencySum += a.CPURAMLatency()
+		for _, fl := range a.Flows() {
+			acct.Add(fl)
+		}
+		heap.Push(&h, event{t: now + vm.Lifetime, kind: departure, seq: seq, vm: vm, a: a})
+		seq++
+		return true
+	}
+	drainQueue := func(now int64) {
+		for len(waiting) > 0 {
+			vm := waiting[0]
+			if !place(vm, now) {
+				return // FIFO: the head blocks the rest
+			}
+			waiting = waiting[1:]
+			res.RetrySucceeded++
+			waitSum += float64(now - vm.Arrival)
+		}
+	}
+
+	snapshot := func(t int64) Sample {
+		s := Sample{
+			T:         t,
+			IntraUtil: r.st.Fabric.IntraRackUtilization() * 100,
+			InterUtil: r.st.Fabric.InterRackUtilization() * 100,
+			PowerW:    acct.Power(),
+			Resident:  resident,
+		}
+		for _, k := range units.Resources() {
+			s.Util[k] = r.st.Cluster.Utilization(k) * 100
+		}
+		return s
+	}
+	record := func(t int64) {
+		for _, k := range units.Resources() {
+			utilW[k].Set(float64(t), r.st.Cluster.Utilization(k)*100)
+		}
+		intraW.Set(float64(t), r.st.Fabric.IntraRackUtilization()*100)
+		interW.Set(float64(t), r.st.Fabric.InterRackUtilization()*100)
+		powerW.Set(float64(t), acct.Power())
+		if r.sampleEvery > 0 && t >= nextSample {
+			res.Samples = append(res.Samples, snapshot(t))
+			nextSample = (t/r.sampleEvery + 1) * r.sampleEvery
+		}
+	}
+	record(0)
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		if e.t < lastT {
+			return nil, fmt.Errorf("sim: event time went backwards: %d < %d", e.t, lastT)
+		}
+		acct.AdvanceSeconds(float64(e.t-lastT) * SecondsPerTimeUnit)
+		lastT = e.t
+
+		switch e.kind {
+		case inject:
+			e.do(r.st)
+			if r.retry {
+				drainQueue(e.t) // repairs may free capacity
+			}
+		case departure:
+			life := time.Duration(float64(e.vm.Lifetime) * SecondsPerTimeUnit * float64(time.Second))
+			for _, fl := range e.a.Flows() {
+				acct.Remove(fl)
+				res.Eq1EnergyJ += r.model.FlowEnergy(fl, life)
+			}
+			r.sch.Release(e.a)
+			resident--
+			if r.retry {
+				drainQueue(e.t)
+			}
+		case arrival:
+			if r.retry && len(waiting) > 0 {
+				// FIFO fairness: queued VMs go first.
+				waiting = append(waiting, e.vm)
+				res.Enqueued++
+				drainQueue(e.t)
+				break
+			}
+			if !place(e.vm, e.t) {
+				if r.retry {
+					waiting = append(waiting, e.vm)
+					res.Enqueued++
+				} else {
+					res.Dropped++
+				}
+			}
+		}
+		record(e.t)
+	}
+
+	if r.sampleEvery > 0 && (len(res.Samples) == 0 || res.Samples[len(res.Samples)-1].T != lastT) {
+		res.Samples = append(res.Samples, snapshot(lastT))
+	}
+	res.Dropped += len(waiting) // still queued at the end: never placed
+	if res.RetrySucceeded > 0 {
+		res.MeanWait = waitSum / float64(res.RetrySucceeded)
+	}
+	res.Makespan = lastT
+	end := float64(lastT)
+	for _, k := range units.Resources() {
+		res.AvgUtil[k] = utilW[k].Average(end)
+		res.PeakUtil[k] = utilW[k].Peak()
+	}
+	res.AvgIntraUtil = intraW.Average(end)
+	res.PeakIntraUtil = intraW.Peak()
+	res.AvgInterUtil = interW.Average(end)
+	res.PeakInterUtil = interW.Peak()
+	res.AvgPowerW = powerW.Average(end)
+	res.PeakPowerW = acct.PeakPower()
+	res.EnergyJ = acct.EnergyJoules()
+	if res.Scheduled > 0 {
+		res.MeanCPURAMLatency = latencySum / time.Duration(res.Scheduled)
+	}
+	if total := res.Scheduled + res.Dropped; total > 0 {
+		res.InterRackPct = float64(res.InterRack) / float64(total) * 100
+	}
+	return res, nil
+}

@@ -1,0 +1,278 @@
+package topology
+
+import (
+	"fmt"
+
+	"risa/internal/units"
+)
+
+// Rack groups the boxes that share one intra-rack optical switch.
+type Rack struct {
+	index  int
+	boxes  []*Box                     // all boxes, in intra-rack index order
+	byKind [units.NumResources][]*Box // same boxes grouped by resource kind
+}
+
+// Index returns the rack's position in the cluster.
+func (r *Rack) Index() int { return r.index }
+
+// Boxes returns all boxes of the rack in index order. The slice is shared;
+// callers must not modify it.
+func (r *Rack) Boxes() []*Box { return r.boxes }
+
+// BoxesOf returns the rack's boxes of kind k in index order. The slice is
+// shared; callers must not modify it.
+func (r *Rack) BoxesOf(k units.Resource) []*Box { return r.byKind[k] }
+
+// MaxFree returns the largest free amount of kind k available in any single
+// box of the rack, and that box. RISA's INTRA_RACK_POOL test is built on
+// this: a rack can host a whole VM iff MaxFree ≥ request for every kind.
+func (r *Rack) MaxFree(k units.Resource) (units.Amount, *Box) {
+	var best *Box
+	var max units.Amount
+	for _, b := range r.byKind[k] {
+		if f := b.Free(); f > max {
+			max = f
+			best = b
+		}
+	}
+	return max, best
+}
+
+// FitsWholeVM reports whether some single box per kind can hold each
+// component of req, i.e. the rack qualifies for RISA's INTRA_RACK_POOL.
+func (r *Rack) FitsWholeVM(req units.Vector) bool {
+	for _, k := range units.Resources() {
+		if req[k] == 0 {
+			continue
+		}
+		if max, _ := r.MaxFree(k); max < req[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Free returns the total free amount of kind k across the rack's healthy
+// boxes.
+func (r *Rack) Free(k units.Resource) units.Amount {
+	var total units.Amount
+	for _, b := range r.byKind[k] {
+		total += b.Free()
+	}
+	return total
+}
+
+// Cluster is the complete disaggregated datacenter compute plane.
+type Cluster struct {
+	cfg   Config
+	racks []*Rack
+	boxes []*Box // rack-major flattened order
+	free  units.Vector
+	cap   units.Vector
+}
+
+// New builds the regular cluster described by cfg. Boxes within each rack
+// are laid out kind-major: all CPU boxes first, then RAM, then storage,
+// mirroring the id assignment of the paper's toy examples.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg}
+	for ri := 0; ri < cfg.Racks; ri++ {
+		rack := &Rack{index: ri}
+		idx := 0
+		for _, kind := range units.Resources() {
+			brickCap := cfg.BrickCapacity(kind)
+			for ki := 0; ki < cfg.BoxKindCount(kind); ki++ {
+				box := &Box{
+					rack:   ri,
+					index:  idx,
+					kindIx: ki,
+					kind:   kind,
+					bricks: make([]Brick, cfg.BricksPerBox),
+				}
+				for bi := range box.bricks {
+					box.bricks[bi] = Brick{capacity: brickCap, free: brickCap}
+				}
+				box.cap = brickCap * units.Amount(cfg.BricksPerBox)
+				box.free = box.cap
+				rack.boxes = append(rack.boxes, box)
+				rack.byKind[kind] = append(rack.byKind[kind], box)
+				c.boxes = append(c.boxes, box)
+				c.free[kind] += box.cap
+				c.cap[kind] += box.cap
+				idx++
+			}
+		}
+		c.racks = append(c.racks, rack)
+	}
+	return c, nil
+}
+
+// Config returns the configuration the cluster was built from.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Racks returns the cluster's racks in index order (shared slice).
+func (c *Cluster) Racks() []*Rack { return c.racks }
+
+// Rack returns rack i.
+func (c *Cluster) Rack(i int) *Rack { return c.racks[i] }
+
+// NumRacks returns the number of racks.
+func (c *Cluster) NumRacks() int { return len(c.racks) }
+
+// Boxes returns every box in rack-major order (shared slice).
+func (c *Cluster) Boxes() []*Box { return c.boxes }
+
+// TotalCapacity returns the cluster-wide capacity of kind k.
+func (c *Cluster) TotalCapacity(k units.Resource) units.Amount { return c.cap[k] }
+
+// TotalFree returns the cluster-wide free amount of kind k.
+func (c *Cluster) TotalFree(k units.Resource) units.Amount { return c.free[k] }
+
+// Utilization returns the used fraction of kind k in [0,1].
+func (c *Cluster) Utilization(k units.Resource) float64 {
+	if c.cap[k] == 0 {
+		return 0
+	}
+	return float64(c.cap[k]-c.free[k]) / float64(c.cap[k])
+}
+
+// ContentionRatio returns the paper's CR for a request component: the
+// amount requested over the total currently available amount of that
+// resource. A ratio > 1 means the cluster cannot satisfy the component at
+// all; an infinite ratio (no free resource) is reported as a large finite
+// number so comparisons stay total.
+func (c *Cluster) ContentionRatio(k units.Resource, req units.Amount) float64 {
+	if req <= 0 {
+		return 0
+	}
+	if c.free[k] == 0 {
+		return float64(req) * 1e9
+	}
+	return float64(req) / float64(c.free[k])
+}
+
+// Allocate carves amount of box's kind out of box, updating cluster totals.
+func (c *Cluster) Allocate(box *Box, amount units.Amount) (Placement, error) {
+	p, err := box.allocate(amount)
+	if err != nil {
+		return Placement{}, err
+	}
+	c.free[box.kind] -= amount
+	return p, nil
+}
+
+// Release returns a placement's resources to its box and cluster totals.
+// Releasing the zero placement is a no-op. Releasing into a failed box is
+// legal (the VM departs either way) but the freed capacity only rejoins
+// the cluster totals when the box is restored.
+func (c *Cluster) Release(p Placement) {
+	if p.IsZero() {
+		return
+	}
+	p.Box.release(p)
+	if !p.Box.failed {
+		c.free[p.Box.kind] += p.Total
+	}
+}
+
+// SetBoxFailed marks a box failed or restores it. A failed box accepts no
+// new placements and reports zero free capacity; existing placements stay
+// accounted and may still be released. Toggling is idempotent.
+func (c *Cluster) SetBoxFailed(b *Box, failed bool) {
+	if b.failed == failed {
+		return
+	}
+	b.failed = failed
+	if failed {
+		c.free[b.kind] -= b.free
+	} else {
+		c.free[b.kind] += b.free
+	}
+}
+
+// Preoccupy permanently consumes amount from the given box; it is used by
+// tests and the toy-example experiments to reconstruct the paper's Table 3
+// availability state. The returned placement may be released like any
+// other.
+func (c *Cluster) Preoccupy(rack, kindIndex int, kind units.Resource, amount units.Amount) (Placement, error) {
+	if rack < 0 || rack >= len(c.racks) {
+		return Placement{}, fmt.Errorf("topology: rack %d out of range", rack)
+	}
+	boxes := c.racks[rack].BoxesOf(kind)
+	if kindIndex < 0 || kindIndex >= len(boxes) {
+		return Placement{}, fmt.Errorf("topology: %v box %d out of range in rack %d", kind, kindIndex, rack)
+	}
+	return c.Allocate(boxes[kindIndex], amount)
+}
+
+// Stranded returns, per resource, the free amount sitting in racks that
+// cannot host the reference request as a whole — capacity that exists but
+// is unusable for a typical VM because a complementary resource (or a
+// large-enough single box) is missing in that rack. Stranded resources
+// are the paper's core motivation (§1) and reducing them is RISA-BF's
+// stated goal (§4).
+func (c *Cluster) Stranded(ref units.Vector) units.Vector {
+	var out units.Vector
+	for _, rack := range c.racks {
+		if rack.FitsWholeVM(ref) {
+			continue
+		}
+		for _, k := range units.Resources() {
+			out[k] += rack.Free(k)
+		}
+	}
+	return out
+}
+
+// StrandedFraction returns Stranded as a fraction of the cluster's total
+// free amount per resource (0 when nothing is free).
+func (c *Cluster) StrandedFraction(ref units.Vector) [units.NumResources]float64 {
+	stranded := c.Stranded(ref)
+	var out [units.NumResources]float64
+	for _, k := range units.Resources() {
+		if c.free[k] > 0 {
+			out[k] = float64(stranded[k]) / float64(c.free[k])
+		}
+	}
+	return out
+}
+
+// CheckInvariants verifies all bookkeeping identities: per-box free equals
+// the sum of brick frees, 0 ≤ free ≤ capacity everywhere, and cluster
+// totals equal the sums over boxes. It is meant for tests and returns the
+// first violation found.
+func (c *Cluster) CheckInvariants() error {
+	var free, cap units.Vector
+	for _, b := range c.boxes {
+		var brickFree, brickCap units.Amount
+		for i := range b.bricks {
+			br := &b.bricks[i]
+			if br.free < 0 || br.free > br.capacity {
+				return fmt.Errorf("%v brick %d free %d out of [0,%d]", b, i, br.free, br.capacity)
+			}
+			brickFree += br.free
+			brickCap += br.capacity
+		}
+		if brickFree != b.free {
+			return fmt.Errorf("%v cached free %d != brick sum %d", b, b.free, brickFree)
+		}
+		if brickCap != b.cap {
+			return fmt.Errorf("%v cached capacity %d != brick sum %d", b, b.cap, brickCap)
+		}
+		if !b.failed {
+			free[b.kind] += b.free
+		}
+		cap[b.kind] += b.cap
+	}
+	if free != c.free {
+		return fmt.Errorf("cluster free %v != box sum %v", c.free, free)
+	}
+	if cap != c.cap {
+		return fmt.Errorf("cluster capacity %v != box sum %v", c.cap, cap)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"risa/internal/topology"
+	"risa/internal/units"
+)
+
+func ExampleNew() {
+	cl, err := topology.New(topology.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("racks:", cl.NumRacks())
+	fmt.Println("boxes:", len(cl.Boxes()))
+	fmt.Println("CPU capacity:", cl.TotalCapacity(units.CPU), "cores")
+	fmt.Println("STO capacity:", cl.TotalCapacity(units.Storage), "GB")
+	// Output:
+	// racks: 18
+	// boxes: 108
+	// CPU capacity: 18432 cores
+	// STO capacity: 294912 GB
+}
+
+func ExampleCluster_Allocate() {
+	cl, err := topology.New(topology.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	box := cl.Rack(0).BoxesOf(units.RAM)[0]
+	p, err := cl.Allocate(box, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("allocated:", p.Total, "GB across", len(p.Shares), "bricks")
+	fmt.Println("box free:", box.Free(), "GB")
+	cl.Release(p)
+	fmt.Println("after release:", box.Free(), "GB")
+	// Output:
+	// allocated: 100 GB across 2 bricks
+	// box free: 412 GB
+	// after release: 512 GB
+}
+
+func ExampleRack_FitsWholeVM() {
+	cl, err := topology.New(topology.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	rack := cl.Rack(0)
+	fmt.Println(rack.FitsWholeVM(units.Vec(8, 16, 128)))
+	fmt.Println(rack.FitsWholeVM(units.Vec(513, 16, 128))) // > one box
+	// Output:
+	// true
+	// false
+}

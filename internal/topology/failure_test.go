@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"testing"
+
+	"risa/internal/units"
+)
+
+func TestSetBoxFailedHidesCapacity(t *testing.T) {
+	c := mustCluster(t, DefaultConfig())
+	box := c.Rack(0).BoxesOf(units.CPU)[0]
+	total := c.TotalFree(units.CPU)
+	c.SetBoxFailed(box, true)
+	if !box.Failed() {
+		t.Fatal("box should report failed")
+	}
+	if box.Free() != 0 {
+		t.Errorf("failed box Free = %d, want 0", box.Free())
+	}
+	if got := c.TotalFree(units.CPU); got != total-box.Capacity() {
+		t.Errorf("cluster free = %d, want %d", got, total-box.Capacity())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Allocation into the failed box is refused.
+	if _, err := c.Allocate(box, 8); err == nil {
+		t.Error("failed box must refuse allocations")
+	}
+	// Restore brings the capacity back.
+	c.SetBoxFailed(box, false)
+	if c.TotalFree(units.CPU) != total {
+		t.Error("restore should return the capacity")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetBoxFailedIdempotent(t *testing.T) {
+	c := mustCluster(t, DefaultConfig())
+	box := c.Rack(0).BoxesOf(units.RAM)[0]
+	total := c.TotalFree(units.RAM)
+	c.SetBoxFailed(box, true)
+	c.SetBoxFailed(box, true) // no double subtraction
+	if got := c.TotalFree(units.RAM); got != total-box.Capacity() {
+		t.Errorf("double-fail corrupted totals: %d", got)
+	}
+	c.SetBoxFailed(box, false)
+	c.SetBoxFailed(box, false)
+	if c.TotalFree(units.RAM) != total {
+		t.Error("double-restore corrupted totals")
+	}
+}
+
+func TestReleaseIntoFailedBox(t *testing.T) {
+	c := mustCluster(t, DefaultConfig())
+	box := c.Rack(0).BoxesOf(units.Storage)[0]
+	p, err := c.Allocate(box, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalAfterAlloc := c.TotalFree(units.Storage)
+	c.SetBoxFailed(box, true)
+	// The VM departs while the box is down: release succeeds, but the
+	// freed capacity stays hidden until restore.
+	c.Release(p)
+	if got := c.TotalFree(units.Storage); got != totalAfterAlloc-(box.Capacity()-128) {
+		t.Errorf("release onto failed box leaked into totals: %d", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	c.SetBoxFailed(box, false)
+	if box.Free() != box.Capacity() {
+		t.Error("restored box should be fully free")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFailedBoxExcludedFromRackViews(t *testing.T) {
+	c := mustCluster(t, DefaultConfig())
+	rack := c.Rack(0)
+	for _, b := range rack.BoxesOf(units.RAM) {
+		c.SetBoxFailed(b, true)
+	}
+	if max, _ := rack.MaxFree(units.RAM); max != 0 {
+		t.Errorf("rack max free = %d with all RAM failed", max)
+	}
+	if rack.Free(units.RAM) != 0 {
+		t.Error("rack free should be zero")
+	}
+	if rack.FitsWholeVM(units.Vec(1, 1, 1)) {
+		t.Error("rack without RAM cannot fit a VM")
+	}
+	// Other racks are unaffected.
+	if !c.Rack(1).FitsWholeVM(units.Vec(1, 1, 1)) {
+		t.Error("healthy rack should still fit")
+	}
+}
+
+func TestUsedSurvivesFailure(t *testing.T) {
+	c := mustCluster(t, DefaultConfig())
+	box := c.Rack(0).BoxesOf(units.CPU)[0]
+	if _, err := c.Allocate(box, 100); err != nil {
+		t.Fatal(err)
+	}
+	c.SetBoxFailed(box, true)
+	if box.Used() != 100 {
+		t.Errorf("Used = %d after failure, want 100", box.Used())
+	}
+}
+
+func TestStrandedMetric(t *testing.T) {
+	c := mustCluster(t, DefaultConfig())
+	ref := units.Vec(16, 16, 128)
+	// Fresh cluster: nothing stranded.
+	if got := c.Stranded(ref); !got.IsZero() {
+		t.Errorf("fresh cluster stranded = %v", got)
+	}
+	// Exhaust rack 0's RAM: its free CPU and storage become stranded for
+	// the reference VM.
+	for _, b := range c.Rack(0).BoxesOf(units.RAM) {
+		if _, err := c.Allocate(b, b.Free()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Stranded(ref)
+	if got[units.CPU] != 2*512 {
+		t.Errorf("stranded CPU = %d, want %d", got[units.CPU], 2*512)
+	}
+	if got[units.Storage] != 2*8192 {
+		t.Errorf("stranded STO = %d, want %d", got[units.Storage], 2*8192)
+	}
+	if got[units.RAM] != 0 {
+		t.Errorf("stranded RAM = %d, want 0 (none free there)", got[units.RAM])
+	}
+	frac := c.StrandedFraction(ref)
+	wantCPU := float64(2*512) / float64(18*2*512)
+	if frac[units.CPU] != wantCPU {
+		t.Errorf("stranded CPU fraction = %g, want %g", frac[units.CPU], wantCPU)
+	}
+}
+
+func TestStrandedCountsFailedRacks(t *testing.T) {
+	c := mustCluster(t, DefaultConfig())
+	ref := units.Vec(8, 16, 128)
+	// Fail rack 3's CPU boxes: the rack cannot host the reference VM, but
+	// its failed boxes contribute no free capacity either — only the
+	// healthy RAM/storage there is stranded.
+	for _, b := range c.Rack(3).BoxesOf(units.CPU) {
+		c.SetBoxFailed(b, true)
+	}
+	got := c.Stranded(ref)
+	if got[units.CPU] != 0 {
+		t.Errorf("failed CPU should not count as stranded free: %d", got[units.CPU])
+	}
+	if got[units.RAM] != 2*512 || got[units.Storage] != 2*8192 {
+		t.Errorf("healthy complements should be stranded: %v", got)
+	}
+}
+
+func TestStrandedFractionEmptyCluster(t *testing.T) {
+	cfg := DefaultConfig()
+	c := mustCluster(t, cfg)
+	// Exhaust everything: fractions must be 0 (no free capacity at all).
+	for _, b := range c.Boxes() {
+		if _, err := c.Allocate(b, b.Free()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frac := c.StrandedFraction(units.Vec(1, 1, 1))
+	for _, k := range units.Resources() {
+		if frac[k] != 0 {
+			t.Errorf("fraction %v = %g with nothing free", k, frac[k])
+		}
+	}
+}

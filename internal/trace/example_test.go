@@ -1,0 +1,30 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"risa/internal/trace"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+func Example() {
+	tr := &workload.Trace{Name: "demo", VMs: []workload.VM{
+		{ID: 0, Arrival: 0, Lifetime: 6300, Req: units.Vec(8, 16, 128)},
+	}}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		panic(err)
+	}
+	fmt.Print(buf.String())
+	back, err := trace.Read(&buf, "demo")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("round-trip VMs:", back.Len())
+	// Output:
+	// id,arrival,lifetime,cpu_cores,ram_gb,sto_gb
+	// 0,0,6300,8,16,128
+	// round-trip VMs: 1
+}

@@ -1,0 +1,86 @@
+// Package trace serializes VM workloads as CSV so experiments are
+// replayable and traces can be exchanged with other tools.
+//
+// Format (one header line, then one row per VM):
+//
+//	id,arrival,lifetime,cpu_cores,ram_gb,sto_gb
+//	0,12,6300,8,16,128
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// header is the canonical column list.
+var header = []string{"id", "arrival", "lifetime", "cpu_cores", "ram_gb", "sto_gb"}
+
+// Write encodes a trace as CSV.
+func Write(w io.Writer, tr *workload.Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, v := range tr.VMs {
+		row[0] = strconv.Itoa(v.ID)
+		row[1] = strconv.FormatInt(v.Arrival, 10)
+		row[2] = strconv.FormatInt(v.Lifetime, 10)
+		row[3] = strconv.FormatInt(int64(v.Req[units.CPU]), 10)
+		row[4] = strconv.FormatInt(int64(v.Req[units.RAM]), 10)
+		row[5] = strconv.FormatInt(int64(v.Req[units.Storage]), 10)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing VM %d: %w", v.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Read decodes a CSV trace written by Write. The result is validated.
+func Read(r io.Reader, name string) (*workload.Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(header)
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, col := range header {
+		if first[i] != col {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, first[i], col)
+		}
+	}
+	tr := &workload.Trace{Name: name}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		vals := make([]int64, len(header))
+		for i, s := range rec {
+			vals[i], err = strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d column %s: %w", line, header[i], err)
+			}
+		}
+		tr.VMs = append(tr.VMs, workload.VM{
+			ID:       int(vals[0]),
+			Arrival:  vals[1],
+			Lifetime: vals[2],
+			Req: units.Vec(units.Amount(vals[3]), units.Amount(vals[4]),
+				units.Amount(vals[5])),
+		})
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := workload.Synthetic(workload.DefaultSyntheticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf, orig.Name)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("round-trip length %d, want %d", got.Len(), orig.Len())
+	}
+	for i := range orig.VMs {
+		if got.VMs[i] != orig.VMs[i] {
+			t.Fatalf("VM %d: got %+v, want %+v", i, got.VMs[i], orig.VMs[i])
+		}
+	}
+	if got.Name != orig.Name {
+		t.Errorf("name %q, want %q", got.Name, orig.Name)
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	tr := &workload.Trace{VMs: []workload.VM{
+		{ID: 0, Arrival: 12, Lifetime: 6300, Req: units.Vec(8, 16, 128)},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	want := "id,arrival,lifetime,cpu_cores,ram_gb,sto_gb\n0,12,6300,8,16,128\n"
+	if buf.String() != want {
+		t.Errorf("output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	in := "id,arrival,lifetime,cpu,ram,sto\n0,0,1,1,1,1\n"
+	if _, err := Read(strings.NewReader(in), "x"); err == nil {
+		t.Error("wrong header should fail")
+	}
+}
+
+func TestReadRejectsBadFieldCount(t *testing.T) {
+	in := "id,arrival,lifetime,cpu_cores,ram_gb,sto_gb\n0,0,1,1,1\n"
+	if _, err := Read(strings.NewReader(in), "x"); err == nil {
+		t.Error("short row should fail")
+	}
+}
+
+func TestReadRejectsNonNumeric(t *testing.T) {
+	in := "id,arrival,lifetime,cpu_cores,ram_gb,sto_gb\n0,0,abc,1,1,1\n"
+	if _, err := Read(strings.NewReader(in), "x"); err == nil {
+		t.Error("non-numeric field should fail")
+	}
+}
+
+func TestReadRejectsInvalidTrace(t *testing.T) {
+	// Lifetime 0 fails workload validation.
+	in := "id,arrival,lifetime,cpu_cores,ram_gb,sto_gb\n0,0,0,1,1,1\n"
+	if _, err := Read(strings.NewReader(in), "x"); err == nil {
+		t.Error("invalid VM should fail")
+	}
+	// Arrivals out of order.
+	in = "id,arrival,lifetime,cpu_cores,ram_gb,sto_gb\n0,10,5,1,1,1\n1,5,5,1,1,1\n"
+	if _, err := Read(strings.NewReader(in), "x"); err == nil {
+		t.Error("unordered trace should fail")
+	}
+}
+
+func TestReadEmptyTrace(t *testing.T) {
+	in := "id,arrival,lifetime,cpu_cores,ram_gb,sto_gb\n"
+	tr, err := Read(strings.NewReader(in), "empty")
+	if err != nil {
+		t.Fatalf("empty trace should parse: %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestReadMissingHeader(t *testing.T) {
+	if _, err := Read(strings.NewReader(""), "x"); err == nil {
+		t.Error("empty input should fail")
+	}
+}

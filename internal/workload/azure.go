@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"risa/internal/units"
+)
+
+// AzureSubset names one of the three slices of the 2017 Azure trace the
+// paper evaluates: the first 3000, 5000 and 7500 VMs.
+type AzureSubset int
+
+// The three practical workloads of §5.2.
+const (
+	Azure3000 AzureSubset = iota
+	Azure5000
+	Azure7500
+)
+
+// String returns the paper's workload label.
+func (s AzureSubset) String() string {
+	switch s {
+	case Azure3000:
+		return "Azure-3000"
+	case Azure5000:
+		return "Azure-5000"
+	case Azure7500:
+		return "Azure-7500"
+	default:
+		return fmt.Sprintf("AzureSubset(%d)", int(s))
+	}
+}
+
+// Subsets lists the three subsets in paper order.
+func Subsets() []AzureSubset { return []AzureSubset{Azure3000, Azure5000, Azure7500} }
+
+// AzureSpec pins the exact request mix of one subset: the CPU-core and
+// RAM-GB histograms read off the paper's Figure 6, plus the fixed 128 GB
+// storage the paper assumes for every Azure VM.
+type AzureSpec struct {
+	Name string
+	N    int
+	CPU  []ValueCount // cores → VM count, Σ = N
+	RAM  []ValueCount // GB    → VM count, Σ = N
+	// DefaultLifetimeMean is the calibrated mean exponential lifetime (in
+	// time units). The values are chosen so peak storage utilization (the
+	// binding resource for the fixed 128 GB per VM) climbs across the
+	// subsets — ~64 %, ~82 %, ~93 % — without ever dropping a VM, which
+	// is the regime of the paper's §5.2 (zero drops, utilization growing
+	// with subset size). See EXPERIMENTS.md for the calibration.
+	DefaultLifetimeMean float64
+}
+
+// azureSpecs holds the Figure 6 histograms. CPU bars sit at 1/2/4/8 cores;
+// RAM bars at 4/8/16/32/64 GB (bin centers of the paper's 10-bin
+// histograms; only these five bins are non-empty in the figure).
+var azureSpecs = map[AzureSubset]AzureSpec{
+	Azure3000: {
+		Name: "Azure-3000", N: 3000,
+		CPU:                 []ValueCount{{1, 1326}, {2, 1269}, {4, 316}, {8, 89}},
+		RAM:                 []ValueCount{{4, 2591}, {8, 299}, {16, 15}, {32, 17}, {64, 78}},
+		DefaultLifetimeMean: 18000,
+	},
+	Azure5000: {
+		Name: "Azure-5000", N: 5000,
+		CPU:                 []ValueCount{{1, 1931}, {2, 2514}, {4, 444}, {8, 111}},
+		RAM:                 []ValueCount{{4, 4439}, {8, 427}, {16, 39}, {32, 17}, {64, 78}},
+		DefaultLifetimeMean: 20500,
+	},
+	Azure7500: {
+		Name: "Azure-7500", N: 7500,
+		CPU:                 []ValueCount{{1, 4153}, {2, 2536}, {4, 507}, {8, 304}},
+		RAM:                 []ValueCount{{4, 6682}, {8, 488}, {16, 203}, {32, 19}, {64, 108}},
+		DefaultLifetimeMean: 22500,
+	},
+}
+
+// Spec returns the pinned request mix of a subset.
+func Spec(s AzureSubset) (AzureSpec, error) {
+	sp, ok := azureSpecs[s]
+	if !ok {
+		return AzureSpec{}, fmt.Errorf("workload: unknown Azure subset %d", int(s))
+	}
+	return sp, nil
+}
+
+// AzureConfig parameterizes the Azure-like generator. Zero-valued fields
+// fall back to the paper-calibrated defaults.
+type AzureConfig struct {
+	Subset           AzureSubset
+	MeanInterarrival float64 // default 10, like the synthetic workload
+	LifetimeMean     float64 // default per-subset calibrated value
+	StorageGB        units.Amount
+	Seed             int64
+}
+
+// AzureLike generates a trace whose CPU and RAM histograms match the
+// paper's Figure 6 exactly: the marginal multisets are fully enumerated
+// and shuffled independently, then zipped, so every generated trace has
+// the precise per-value counts of the figure regardless of seed.
+func AzureLike(c AzureConfig) (*Trace, error) {
+	spec, err := Spec(c.Subset)
+	if err != nil {
+		return nil, err
+	}
+	if c.MeanInterarrival == 0 {
+		c.MeanInterarrival = 10
+	}
+	if c.MeanInterarrival < 0 {
+		return nil, fmt.Errorf("workload: negative interarrival %g", c.MeanInterarrival)
+	}
+	if c.LifetimeMean == 0 {
+		c.LifetimeMean = spec.DefaultLifetimeMean
+	}
+	if c.LifetimeMean < 0 {
+		return nil, fmt.Errorf("workload: negative lifetime mean %g", c.LifetimeMean)
+	}
+	if c.StorageGB == 0 {
+		c.StorageGB = 128
+	}
+	if c.StorageGB < 0 {
+		return nil, fmt.Errorf("workload: negative storage %d", c.StorageGB)
+	}
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	cpus := expand(spec.CPU, spec.N)
+	rams := expand(spec.RAM, spec.N)
+	rng.Shuffle(len(cpus), func(i, j int) { cpus[i], cpus[j] = cpus[j], cpus[i] })
+	rng.Shuffle(len(rams), func(i, j int) { rams[i], rams[j] = rams[j], rams[i] })
+
+	tr := &Trace{Name: spec.Name, VMs: make([]VM, 0, spec.N)}
+	var now float64
+	for i := 0; i < spec.N; i++ {
+		now += rng.ExpFloat64() * c.MeanInterarrival
+		life := int64(math.Round(rng.ExpFloat64() * c.LifetimeMean))
+		if life < 1 {
+			life = 1
+		}
+		tr.VMs = append(tr.VMs, VM{
+			ID:       i,
+			Arrival:  int64(math.Round(now)),
+			Lifetime: life,
+			Req:      units.Vec(cpus[i], rams[i], c.StorageGB),
+		})
+	}
+	return tr, nil
+}
+
+// expand unrolls a histogram into its multiset of values.
+func expand(bars []ValueCount, n int) []units.Amount {
+	out := make([]units.Amount, 0, n)
+	for _, b := range bars {
+		for i := 0; i < b.Count; i++ {
+			out = append(out, b.Value)
+		}
+	}
+	if len(out) != n {
+		panic(fmt.Sprintf("workload: histogram sums to %d, want %d", len(out), n))
+	}
+	return out
+}

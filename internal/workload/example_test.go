@@ -1,0 +1,40 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+func ExampleSynthetic() {
+	cfg := workload.DefaultSyntheticConfig()
+	tr, err := workload.Synthetic(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr.Len(), "VMs")
+	fmt.Println("first lifetime:", tr.VMs[0].Lifetime)
+	fmt.Println("storage per VM:", tr.VMs[0].Req[units.Storage], "GB")
+	// Output:
+	// 2500 VMs
+	// first lifetime: 6300
+	// storage per VM: 128 GB
+}
+
+func ExampleAzureLike() {
+	tr, err := workload.AzureLike(workload.AzureConfig{Subset: workload.Azure3000, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	// The CPU histogram matches the paper's Figure 6 exactly, whatever
+	// the seed.
+	for _, bar := range tr.Histogram(units.CPU) {
+		fmt.Printf("%d cores: %d VMs\n", bar.Value, bar.Count)
+	}
+	// Output:
+	// 1 cores: 1326 VMs
+	// 2 cores: 1269 VMs
+	// 4 cores: 316 VMs
+	// 8 cores: 89 VMs
+}
