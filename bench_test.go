@@ -14,6 +14,8 @@
 package risa
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -199,6 +201,104 @@ func BenchmarkAblationRoundRobin(b *testing.B) {
 		if _, err := setup.RunRoundRobinAblation(900); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIntraRackPool measures RISA's INTRA_RACK_POOL construction —
+// one FitsWholeVM probe per rack on a half-loaded cluster. This is the
+// query the incremental free-capacity index serves in O(1) amortized per
+// rack; before the index every probe rescanned the rack's boxes.
+func BenchmarkIntraRackPool(b *testing.B) {
+	st, err := experiments.DefaultSetup().NewState()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch, err := experiments.NewScheduler("RISA", st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		vm := workload.VM{ID: i, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+		if _, err := sch.Schedule(vm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	req := units.Vec(8, 16, 128)
+	b.Run("indexed", func(b *testing.B) {
+		pool := 0
+		for i := 0; i < b.N; i++ {
+			for _, rack := range st.Cluster.Racks() {
+				if rack.FitsWholeVM(req) {
+					pool++
+				}
+			}
+		}
+		if pool == 0 {
+			b.Fatal("no rack ever fit the typical VM")
+		}
+	})
+	// The pre-index pool build, for comparison: every probe rescans the
+	// rack's boxes per resource.
+	b.Run("bruteforce", func(b *testing.B) {
+		pool := 0
+		for i := 0; i < b.N; i++ {
+		racks:
+			for _, rack := range st.Cluster.Racks() {
+				for _, k := range units.Resources() {
+					if req[k] == 0 {
+						continue
+					}
+					var max units.Amount
+					for _, box := range rack.BoxesOf(k) {
+						if f := box.Free(); f > max {
+							max = f
+						}
+					}
+					if max < req[k] {
+						continue racks
+					}
+				}
+				pool++
+			}
+		}
+		if pool == 0 {
+			b.Fatal("no rack ever fit the typical VM")
+		}
+	})
+}
+
+// BenchmarkExperimentGrid runs a 12-cell experiment grid (3 synthetic
+// seeds × 4 algorithms) serially and on the worker pool; the ratio is the
+// wall-clock speedup of the parallel experiment engine.
+func BenchmarkExperimentGrid(b *testing.B) {
+	setup := experiments.DefaultSetup()
+	var jobs []experiments.Job
+	for _, seed := range []int64{1, 2, 3} {
+		s := setup
+		s.Seed = seed
+		tr, err := s.SyntheticTrace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, alg := range experiments.Algorithms {
+			jobs = append(jobs, experiments.Job{Setup: s, Algorithm: alg, Trace: tr})
+		}
+	}
+	widths := []int{1, runtime.GOMAXPROCS(0)}
+	if widths[1] == 1 {
+		// Single-core machine: the second width measures pool overhead
+		// rather than speedup.
+		widths[1] = 4
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := experiments.Engine{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if err := experiments.FirstError(eng.Run(jobs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -7,6 +7,8 @@
 //	risasim -exp fig5                # one figure: toy1 toy2 fig5..fig12
 //	risasim -exp fig9 -seed 7        # different workload seed
 //	risasim -exp fig5 -uplinks 4     # fabric provisioning ablation
+//	risasim -exp azure -parallel 8   # experiment grid on 8 workers
+//	risasim -exp all -parallel 1     # force strictly serial runs
 //
 // The experiment ↔ paper mapping lives in DESIGN.md §5; measured-vs-paper
 // numbers are recorded in EXPERIMENTS.md.
@@ -26,9 +28,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: toy1, toy2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, pool, seeds, resilience, defrag, stranding, queue, threetier, ablations, azure, all")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	uplinks := flag.Int("uplinks", 0, "override box uplinks per box (0 = calibrated default)")
+	parallel := flag.Int("parallel", 0, "worker-pool width for experiment grids (0 = one per CPU, 1 = serial)")
 	jsonPath := flag.String("json", "", "also archive every run as a JSON report at this path")
 	flag.Parse()
 
+	experiments.SetParallelism(*parallel)
 	setup := experiments.DefaultSetup()
 	setup.Seed = *seed
 	if *uplinks > 0 {

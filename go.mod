@@ -1,0 +1,3 @@
+module risa
+
+go 1.22

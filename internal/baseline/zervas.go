@@ -110,14 +110,22 @@ func (z *zervas) ScheduleMasked(vm workload.VM, masks Masks) (*sched.Assignment,
 }
 
 // firstBox returns the first box in global order holding kind r with
-// enough free, honoring the rack mask.
+// enough free, honoring the rack mask. Racks whose free-capacity index
+// reports no large-enough box are skipped without touching their boxes,
+// which leaves the box-level scan order (and thus the chosen box)
+// identical to a full rack-major sweep.
 func (z *zervas) firstBox(r units.Resource, need units.Amount, mask sched.RackMask) *topology.Box {
-	for _, b := range z.st.Cluster.Boxes() {
-		if b.Kind() != r || !mask.Allows(b.Rack()) {
+	for _, rack := range z.st.Cluster.Racks() {
+		if !mask.Allows(rack.Index()) {
 			continue
 		}
-		if b.Free() >= need {
-			return b
+		if max, _ := rack.MaxFree(r); max < need {
+			continue
+		}
+		for _, b := range rack.BoxesOf(r) {
+			if b.Free() >= need {
+				return b
+			}
 		}
 	}
 	return nil
@@ -134,10 +142,16 @@ func (z *zervas) bfsFind(homeRack int, r units.Resource, need units.Amount, mask
 			return b
 		}
 	}
-	// Second BFS level: all remaining racks.
+	// Second BFS level: all remaining racks. The free-capacity index
+	// prunes racks with no large-enough box; dropping boxes that could
+	// never be picked does not change pickFromLevel's choice (NULB takes
+	// the first fitting box, NALB stable-sorts before the same test).
 	var level []*topology.Box
 	for _, rack := range cl.Racks() {
 		if rack.Index() == homeRack || !mask.Allows(rack.Index()) {
+			continue
+		}
+		if max, _ := rack.MaxFree(r); max < need {
 			continue
 		}
 		level = append(level, rack.BoxesOf(r)...)

@@ -48,6 +48,10 @@ type RISA struct {
 	// goes to box 1 although box 0 has 9 free) — i.e. next-fit. We
 	// reproduce Table 4 exactly; see DESIGN.md §4.
 	boxCursor map[int]*[units.NumResources]int
+
+	// poolBuf backs intraRackPool so building the pool on every Schedule
+	// call allocates nothing in steady state.
+	poolBuf []int
 }
 
 // New returns RISA bound to the given datacenter state.
@@ -111,14 +115,17 @@ func (r *RISA) Schedule(vm workload.VM) (*sched.Assignment, error) {
 
 // intraRackPool returns the indices of racks that can host the entire VM:
 // for every requested resource some single box in the rack has enough
-// free space. Indices are ascending.
+// free space. Indices are ascending. Each rack answers from its
+// free-capacity index, so the pool build is O(racks) rather than
+// O(boxes); the returned slice is reused across calls.
 func (r *RISA) intraRackPool(req units.Vector) []int {
-	var pool []int
+	pool := r.poolBuf[:0]
 	for _, rack := range r.st.Cluster.Racks() {
 		if rack.FitsWholeVM(req) {
 			pool = append(pool, rack.Index())
 		}
 	}
+	r.poolBuf = pool
 	return pool
 }
 

@@ -137,7 +137,8 @@ type UplinkSweep struct {
 	Dropped map[string][]int
 }
 
-// RunUplinkSweep replays Azure-3000 at several box-uplink counts.
+// RunUplinkSweep replays Azure-3000 at several box-uplink counts; the
+// uplink × algorithm grid runs on the worker pool.
 func (s Setup) RunUplinkSweep(uplinks []int) (*UplinkSweep, error) {
 	out := &UplinkSweep{Uplinks: uplinks, Dropped: make(map[string][]int)}
 	algs := []string{"NULB", "RISA"}
@@ -145,16 +146,20 @@ func (s Setup) RunUplinkSweep(uplinks []int) (*UplinkSweep, error) {
 	if err != nil {
 		return nil, err
 	}
+	var jobs []Job
 	for _, u := range uplinks {
 		setup := s
 		setup.Network.BoxUplinks = u
 		for _, alg := range algs {
-			res, err := setup.RunOne(alg, tr)
-			if err != nil {
-				return nil, err
-			}
-			out.Dropped[alg] = append(out.Dropped[alg], res.Dropped)
+			jobs = append(jobs, Job{Setup: setup, Algorithm: alg, Trace: tr})
 		}
+	}
+	outcomes, err := Engine{}.RunChecked(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outcomes {
+		out.Dropped[o.Job.Algorithm] = append(out.Dropped[o.Job.Algorithm], o.Result.Dropped)
 	}
 	return out, nil
 }
@@ -186,21 +191,25 @@ type AlphaSweep struct {
 	PeakKW []float64
 }
 
-// RunAlphaSweep executes the sweep.
+// RunAlphaSweep executes the sweep; one pooled job per α.
 func (s Setup) RunAlphaSweep(alphas []float64) (*AlphaSweep, error) {
 	out := &AlphaSweep{Alphas: alphas}
 	tr, err := s.AzureTrace(workload.Azure3000)
 	if err != nil {
 		return nil, err
 	}
-	for _, alpha := range alphas {
+	jobs := make([]Job, len(alphas))
+	for i, alpha := range alphas {
 		setup := s
 		setup.Optics.Alpha = alpha
-		res, err := setup.RunOne("RISA", tr)
-		if err != nil {
-			return nil, err
-		}
-		out.PeakKW = append(out.PeakKW, res.PeakPowerW/1000)
+		jobs[i] = Job{Setup: setup, Algorithm: "RISA", Trace: tr}
+	}
+	outcomes, err := Engine{}.RunChecked(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outcomes {
+		out.PeakKW = append(out.PeakKW, o.Result.PeakPowerW/1000)
 	}
 	return out, nil
 }
@@ -242,6 +251,7 @@ func (s Setup) RunBoxMixAblation() (*BoxMixAblation, error) {
 	if err != nil {
 		return nil, err
 	}
+	var jobs []Job
 	for _, mix := range mixes {
 		setup := s
 		setup.Topology.CPUBoxes = mix.cpu
@@ -249,13 +259,16 @@ func (s Setup) RunBoxMixAblation() (*BoxMixAblation, error) {
 		setup.Topology.STOBoxes = mix.sto
 		out.Mixes = append(out.Mixes, fmt.Sprintf("%dC/%dR/%dS", mix.cpu, mix.ram, mix.sto))
 		for _, alg := range []string{"NULB", "RISA"} {
-			res, err := setup.RunOne(alg, tr)
-			if err != nil {
-				return nil, err
-			}
-			out.Dropped[alg] = append(out.Dropped[alg], res.Dropped)
-			out.Inter[alg] = append(out.Inter[alg], res.InterRack)
+			jobs = append(jobs, Job{Setup: setup, Algorithm: alg, Trace: tr})
 		}
+	}
+	outcomes, err := Engine{}.RunChecked(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outcomes {
+		out.Dropped[o.Job.Algorithm] = append(out.Dropped[o.Job.Algorithm], o.Result.Dropped)
+		out.Inter[o.Job.Algorithm] = append(out.Inter[o.Job.Algorithm], o.Result.InterRack)
 	}
 	return out, nil
 }

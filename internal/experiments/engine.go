@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"risa/internal/sim"
+	"risa/internal/workload"
+)
+
+// defaultWorkers holds the package-wide worker-pool width used by every
+// grid helper (RunAll, RunAzureMatrix, RunSeedSweep, the sweeps). Zero
+// means "one worker per available CPU"; cmd/risasim's -parallel flag sets
+// it explicitly.
+var defaultWorkers atomic.Int32
+
+// SetParallelism fixes the number of workers grid helpers use; n ≤ 0
+// restores the default (GOMAXPROCS). SetParallelism(1) makes every grid
+// strictly serial, which is occasionally useful for profiling one run.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// Parallelism reports the worker-pool width grid helpers currently use.
+func Parallelism() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Job is one cell of an experiment grid: one algorithm replaying one trace
+// on a fresh datacenter built from the setup. Because every job builds its
+// own State, jobs never share mutable simulator state and a grid is
+// embarrassingly parallel.
+type Job struct {
+	Setup     Setup
+	Algorithm string
+	Trace     *workload.Trace
+}
+
+// Outcome pairs a job with its simulation result or error.
+type Outcome struct {
+	Job    Job
+	Result *sim.Result
+	Err    error
+}
+
+// Engine executes experiment grids on a bounded worker pool. The zero
+// Engine uses the package parallelism (see SetParallelism).
+type Engine struct {
+	// Workers is the pool width; ≤ 0 means the package default.
+	Workers int
+}
+
+// Run executes every job and returns the outcomes in job order. All jobs
+// run regardless of individual failures; callers decide whether one error
+// poisons the grid (FirstError helps). Results are deterministic and
+// independent of the pool width because no state is shared between jobs.
+func (e Engine) Run(jobs []Job) []Outcome {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = Parallelism()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				job := jobs[i]
+				res, err := job.Setup.RunOne(job.Algorithm, job.Trace)
+				out[i] = Outcome{Job: job, Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunChecked executes every job and fails on the first job error, so
+// callers folding the outcomes may dereference every Result
+// unconditionally.
+func (e Engine) RunChecked(jobs []Job) ([]Outcome, error) {
+	outcomes := e.Run(jobs)
+	if err := FirstError(outcomes); err != nil {
+		return nil, err
+	}
+	return outcomes, nil
+}
+
+// FirstError returns the first failed outcome's error, annotated with the
+// job that produced it, or nil when the whole grid succeeded.
+func FirstError(outcomes []Outcome) error {
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return fmt.Errorf("%s on %s: %w", o.Job.Algorithm, o.Job.Trace.Name, o.Err)
+		}
+	}
+	return nil
+}

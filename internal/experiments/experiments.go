@@ -122,34 +122,26 @@ func (s Setup) runOn(st *sched.State, sch sched.Scheduler, tr *workload.Trace) (
 
 // RunAll replays the trace through every algorithm and returns results
 // keyed by algorithm name. Each algorithm gets its own fresh datacenter,
-// so the four simulations are independent and run concurrently; results
-// are deterministic regardless of scheduling order.
+// so the four simulations are independent and run on the shared worker
+// pool (see Engine); results are deterministic regardless of pool width.
 func (s Setup) RunAll(tr *workload.Trace) (map[string]*sim.Result, error) {
-	type outcome struct {
-		alg string
-		res *sim.Result
-		err error
+	return s.runAllOn(Engine{}, tr)
+}
+
+// runAllOn is RunAll on a caller-chosen engine (RunFig11 passes a serial
+// one so its timing measurements don't contend).
+func (s Setup) runAllOn(eng Engine, tr *workload.Trace) (map[string]*sim.Result, error) {
+	jobs := make([]Job, len(Algorithms))
+	for i, alg := range Algorithms {
+		jobs[i] = Job{Setup: s, Algorithm: alg, Trace: tr}
 	}
-	ch := make(chan outcome, len(Algorithms))
-	for _, alg := range Algorithms {
-		go func(alg string) {
-			res, err := s.RunOne(alg, tr)
-			ch <- outcome{alg: alg, res: res, err: err}
-		}(alg)
+	outcomes, err := eng.RunChecked(jobs)
+	if err != nil {
+		return nil, err
 	}
 	out := make(map[string]*sim.Result, len(Algorithms))
-	var firstErr error
-	for range Algorithms {
-		o := <-ch
-		if o.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("%s on %s: %w", o.alg, tr.Name, o.err)
-		}
-		if o.err == nil {
-			out[o.alg] = o.res
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	for _, o := range outcomes {
+		out[o.Job.Algorithm] = o.Result
 	}
 	return out, nil
 }
@@ -175,22 +167,37 @@ type AzureMatrix struct {
 	Results map[workload.AzureSubset]map[string]*sim.Result
 }
 
-// RunAzureMatrix computes the full practical-workload result matrix.
+// RunAzureMatrix computes the full practical-workload result matrix: the
+// whole subset × algorithm grid is flattened into one job list and run on
+// the worker pool, so the twelve simulations overlap instead of running
+// subset by subset.
 func (s Setup) RunAzureMatrix() (*AzureMatrix, error) {
 	m := &AzureMatrix{
 		Setup:   s,
 		Results: make(map[workload.AzureSubset]map[string]*sim.Result),
 	}
+	var jobs []Job
+	var subsets []workload.AzureSubset
 	for _, subset := range workload.Subsets() {
 		tr, err := s.AzureTrace(subset)
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.RunAll(tr)
-		if err != nil {
-			return nil, err
+		for _, alg := range Algorithms {
+			jobs = append(jobs, Job{Setup: s, Algorithm: alg, Trace: tr})
+			subsets = append(subsets, subset)
 		}
-		m.Results[subset] = res
+	}
+	outcomes, err := Engine{}.RunChecked(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range outcomes {
+		subset := subsets[i]
+		if m.Results[subset] == nil {
+			m.Results[subset] = make(map[string]*sim.Result, len(Algorithms))
+		}
+		m.Results[subset][o.Job.Algorithm] = o.Result
 	}
 	return m, nil
 }

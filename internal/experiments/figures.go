@@ -193,14 +193,22 @@ type Fig11 struct {
 	Results map[string]*sim.Result
 }
 
-// RunFig11 executes the Figure 11 experiment (same runs as Figure 5; kept
-// separate so the figure can be regenerated alone).
+// RunFig11 executes the Figure 11 experiment: the same runs as Figure 5,
+// but forced onto a single worker — the figure reports wall-clock
+// scheduling time, and concurrent runs contending for cores would inflate
+// each other's measurement. (Figure 12 reads timings from the shared
+// Azure matrix; regenerate it with -parallel 1 when the absolute times
+// matter — see EXPERIMENTS.md.)
 func (s Setup) RunFig11() (*Fig11, error) {
-	f5, err := s.RunFig5()
+	tr, err := s.SyntheticTrace()
 	if err != nil {
 		return nil, err
 	}
-	return &Fig11{Results: f5.Results}, nil
+	res, err := s.runAllOn(Engine{Workers: 1}, tr)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig11{Results: res}, nil
 }
 
 // Render draws the figure.

@@ -18,7 +18,10 @@ type SeedSweep struct {
 	Azure     map[string]*metrics.Summary // inter-rack percent per algorithm
 }
 
-// RunSeedSweep executes the sweep over the given seeds.
+// RunSeedSweep executes the sweep over the given seeds. The whole
+// seed × algorithm × workload-family grid is flattened into one job list
+// and run on the worker pool; observations are folded back in grid order,
+// so the summaries are deterministic.
 func (s Setup) RunSeedSweep(seeds []int64) (*SeedSweep, error) {
 	out := &SeedSweep{
 		Seeds:     seeds,
@@ -29,8 +32,10 @@ func (s Setup) RunSeedSweep(seeds []int64) (*SeedSweep, error) {
 		out.Synthetic[alg] = &metrics.Summary{}
 		out.Azure[alg] = &metrics.Summary{}
 	}
-	azureSetup := AzureSetup()
-	azureSetup.Network = s.Network
+	azureBase := AzureSetup()
+	azureBase.Network = s.Network
+	var jobs []Job
+	var synthetic []bool // per job: synthetic (true) or Azure (false)
 	for _, seed := range seeds {
 		synthSetup := s
 		synthSetup.Seed = seed
@@ -38,25 +43,28 @@ func (s Setup) RunSeedSweep(seeds []int64) (*SeedSweep, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := synthSetup.RunAll(tr)
-		if err != nil {
-			return nil, err
-		}
-		for alg, r := range res {
-			out.Synthetic[alg].Observe(float64(r.InterRack))
-		}
-
+		azureSetup := azureBase
 		azureSetup.Seed = seed
 		atr, err := azureSetup.AzureTrace(workload.Azure3000)
 		if err != nil {
 			return nil, err
 		}
-		ares, err := azureSetup.RunAll(atr)
-		if err != nil {
-			return nil, err
+		for _, alg := range Algorithms {
+			jobs = append(jobs, Job{Setup: synthSetup, Algorithm: alg, Trace: tr})
+			synthetic = append(synthetic, true)
+			jobs = append(jobs, Job{Setup: azureSetup, Algorithm: alg, Trace: atr})
+			synthetic = append(synthetic, false)
 		}
-		for alg, r := range ares {
-			out.Azure[alg].Observe(r.InterRackPct)
+	}
+	outcomes, err := Engine{}.RunChecked(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range outcomes {
+		if synthetic[i] {
+			out.Synthetic[o.Job.Algorithm].Observe(float64(o.Result.InterRack))
+		} else {
+			out.Azure[o.Job.Algorithm].Observe(o.Result.InterRackPct)
 		}
 	}
 	return out, nil

@@ -134,7 +134,11 @@ type BoxTriple [units.NumResources]*topology.Box
 // AllocateVM is the shared placement transaction: it carves the VM's
 // compute out of the chosen boxes and reserves both optical flows under
 // the given link policy. On any failure everything is rolled back and the
-// state is exactly as before.
+// state is exactly as before. Because every compute mutation goes through
+// Cluster.Allocate/Release here, the per-rack free-capacity index
+// (topology's MaxFree/FitsWholeVM/Free) stays current for every scheduler
+// with no extra bookkeeping on their part — including mid-transaction
+// rollbacks.
 func (s *State) AllocateVM(vm workload.VM, boxes BoxTriple, policy network.Policy) (*Assignment, error) {
 	a := &Assignment{VM: vm}
 	cfg := s.Units()

@@ -9,8 +9,9 @@ import (
 // Rack groups the boxes that share one intra-rack optical switch.
 type Rack struct {
 	index  int
-	boxes  []*Box                     // all boxes, in intra-rack index order
-	byKind [units.NumResources][]*Box // same boxes grouped by resource kind
+	boxes  []*Box                        // all boxes, in intra-rack index order
+	byKind [units.NumResources][]*Box    // same boxes grouped by resource kind
+	idx    [units.NumResources]kindIndex // incremental free-capacity index
 }
 
 // Index returns the rack's position in the cluster.
@@ -25,18 +26,17 @@ func (r *Rack) Boxes() []*Box { return r.boxes }
 func (r *Rack) BoxesOf(k units.Resource) []*Box { return r.byKind[k] }
 
 // MaxFree returns the largest free amount of kind k available in any single
-// box of the rack, and that box. RISA's INTRA_RACK_POOL test is built on
-// this: a rack can host a whole VM iff MaxFree ≥ request for every kind.
+// box of the rack, and the earliest box attaining it (nil when nothing is
+// free). RISA's INTRA_RACK_POOL test is built on this: a rack can host a
+// whole VM iff MaxFree ≥ request for every kind. The answer comes from the
+// rack's incremental index, so the amortized cost is O(1) rather than a
+// scan of the rack's boxes.
 func (r *Rack) MaxFree(k units.Resource) (units.Amount, *Box) {
-	var best *Box
-	var max units.Amount
-	for _, b := range r.byKind[k] {
-		if f := b.Free(); f > max {
-			max = f
-			best = b
-		}
+	ix := &r.idx[k]
+	if ix.dirty {
+		ix.rescan(r.byKind[k])
 	}
-	return max, best
+	return ix.max, ix.best
 }
 
 // FitsWholeVM reports whether some single box per kind can hold each
@@ -54,14 +54,8 @@ func (r *Rack) FitsWholeVM(req units.Vector) bool {
 }
 
 // Free returns the total free amount of kind k across the rack's healthy
-// boxes.
-func (r *Rack) Free(k units.Resource) units.Amount {
-	var total units.Amount
-	for _, b := range r.byKind[k] {
-		total += b.Free()
-	}
-	return total
-}
+// boxes, maintained incrementally (O(1)).
+func (r *Rack) Free(k units.Resource) units.Amount { return r.idx[k].total }
 
 // Cluster is the complete disaggregated datacenter compute plane.
 type Cluster struct {
@@ -106,6 +100,7 @@ func New(cfg Config) (*Cluster, error) {
 				idx++
 			}
 		}
+		rack.initIndex()
 		c.racks = append(c.racks, rack)
 	}
 	return c, nil
@@ -162,6 +157,7 @@ func (c *Cluster) Allocate(box *Box, amount units.Amount) (Placement, error) {
 		return Placement{}, err
 	}
 	c.free[box.kind] -= amount
+	c.racks[box.rack].noteDecrease(box, amount)
 	return p, nil
 }
 
@@ -176,6 +172,7 @@ func (c *Cluster) Release(p Placement) {
 	p.Box.release(p)
 	if !p.Box.failed {
 		c.free[p.Box.kind] += p.Total
+		c.racks[p.Box.rack].noteIncrease(p.Box, p.Total)
 	}
 }
 
@@ -189,8 +186,10 @@ func (c *Cluster) SetBoxFailed(b *Box, failed bool) {
 	b.failed = failed
 	if failed {
 		c.free[b.kind] -= b.free
+		c.racks[b.rack].noteDecrease(b, b.free)
 	} else {
 		c.free[b.kind] += b.free
+		c.racks[b.rack].noteIncrease(b, b.free)
 	}
 }
 
@@ -273,6 +272,27 @@ func (c *Cluster) CheckInvariants() error {
 	}
 	if cap != c.cap {
 		return fmt.Errorf("cluster capacity %v != box sum %v", c.cap, cap)
+	}
+	for _, rack := range c.racks {
+		for _, k := range units.Resources() {
+			ix := &rack.idx[k]
+			var total, max units.Amount
+			var best *Box
+			for _, b := range rack.byKind[k] {
+				f := b.Free()
+				total += f
+				if f > max {
+					max, best = f, b
+				}
+			}
+			if ix.total != total {
+				return fmt.Errorf("rack %d %v index total %d != scan %d", rack.index, k, ix.total, total)
+			}
+			if !ix.dirty && (ix.max != max || ix.best != best) {
+				return fmt.Errorf("rack %d %v index max %d/%v != scan %d/%v",
+					rack.index, k, ix.max, ix.best, max, best)
+			}
+		}
 	}
 	return nil
 }

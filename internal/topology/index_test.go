@@ -1,0 +1,193 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"risa/internal/units"
+)
+
+// bruteMaxFree is the pre-index implementation of Rack.MaxFree: a full
+// scan in box-index order with a strict comparison, so it returns the
+// earliest box attaining the maximum.
+func bruteMaxFree(r *Rack, k units.Resource) (units.Amount, *Box) {
+	var best *Box
+	var max units.Amount
+	for _, b := range r.BoxesOf(k) {
+		if f := b.Free(); f > max {
+			max = f
+			best = b
+		}
+	}
+	return max, best
+}
+
+// bruteFits is the pre-index implementation of Rack.FitsWholeVM.
+func bruteFits(r *Rack, req units.Vector) bool {
+	for _, k := range units.Resources() {
+		if req[k] == 0 {
+			continue
+		}
+		if max, _ := bruteMaxFree(r, k); max < req[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteFree is the pre-index implementation of Rack.Free.
+func bruteFree(r *Rack, k units.Resource) units.Amount {
+	var total units.Amount
+	for _, b := range r.BoxesOf(k) {
+		total += b.Free()
+	}
+	return total
+}
+
+// checkIndexAgainstBrute compares every rack's indexed answers with the
+// brute-force scans, including returned-box identity (the index preserves
+// the earliest-max tie-break of the original code).
+func checkIndexAgainstBrute(t *testing.T, c *Cluster, rng *rand.Rand) {
+	t.Helper()
+	for _, rack := range c.Racks() {
+		for _, k := range units.Resources() {
+			wantMax, wantBox := bruteMaxFree(rack, k)
+			gotMax, gotBox := rack.MaxFree(k)
+			if gotMax != wantMax || gotBox != wantBox {
+				t.Fatalf("rack %d %v: MaxFree = %d/%v, brute force = %d/%v",
+					rack.Index(), k, gotMax, gotBox, wantMax, wantBox)
+			}
+			if got, want := rack.Free(k), bruteFree(rack, k); got != want {
+				t.Fatalf("rack %d %v: Free = %d, brute force = %d", rack.Index(), k, got, want)
+			}
+		}
+		req := units.Vec(
+			units.Amount(rng.Intn(600)),
+			units.Amount(rng.Intn(600)),
+			units.Amount(rng.Intn(9000)),
+		)
+		if got, want := rack.FitsWholeVM(req), bruteFits(rack, req); got != want {
+			t.Fatalf("rack %d: FitsWholeVM(%v) = %v, brute force = %v", rack.Index(), req, got, want)
+		}
+	}
+}
+
+// TestIndexMatchesBruteForce drives random alloc/release/fail/restore
+// sequences and asserts after every operation that the incremental index
+// agrees with a brute-force scan — the equivalence the scheduling hot
+// path relies on.
+func TestIndexMatchesBruteForce(t *testing.T) {
+	configs := map[string]Config{
+		"default": DefaultConfig(),
+		"skewed": {
+			Racks: 5, CPUBoxes: 1, RAMBoxes: 3, STOBoxes: 4,
+			BricksPerBox: 4, UnitsPerBrick: 8, Units: units.DefaultConfig(),
+		},
+		"single-box": {
+			Racks: 3, CPUBoxes: 1, RAMBoxes: 1, STOBoxes: 1,
+			BricksPerBox: 2, UnitsPerBrick: 4, Units: units.DefaultConfig(),
+		},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			c := mustCluster(t, cfg)
+			rng := rand.New(rand.NewSource(42))
+			var live []Placement
+			var failed []*Box
+			const ops = 4000
+			for i := 0; i < ops; i++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // allocate a random amount from a random box
+					b := c.Boxes()[rng.Intn(len(c.Boxes()))]
+					if b.Free() == 0 {
+						continue
+					}
+					amount := units.Amount(rng.Int63n(int64(b.Free()))) + 1
+					p, err := c.Allocate(b, amount)
+					if err != nil {
+						if !b.Failed() {
+							t.Fatalf("op %d: allocate %d from healthy %v: %v", i, amount, b, err)
+						}
+						continue
+					}
+					live = append(live, p)
+				case op < 8: // release a random live placement
+					if len(live) == 0 {
+						continue
+					}
+					j := rng.Intn(len(live))
+					c.Release(live[j])
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+				case op < 9: // fail a random box
+					b := c.Boxes()[rng.Intn(len(c.Boxes()))]
+					if !b.Failed() {
+						c.SetBoxFailed(b, true)
+						failed = append(failed, b)
+					}
+				default: // restore a random failed box
+					if len(failed) == 0 {
+						continue
+					}
+					j := rng.Intn(len(failed))
+					c.SetBoxFailed(failed[j], false)
+					failed[j] = failed[len(failed)-1]
+					failed = failed[:len(failed)-1]
+				}
+				checkIndexAgainstBrute(t, c, rng)
+				if i%100 == 0 {
+					if err := c.CheckInvariants(); err != nil {
+						t.Fatalf("op %d: %v", i, err)
+					}
+				}
+			}
+			// Drain everything and verify the index lands back on a fully
+			// free cluster.
+			for _, b := range failed {
+				c.SetBoxFailed(b, false)
+			}
+			for _, p := range live {
+				c.Release(p)
+			}
+			checkIndexAgainstBrute(t, c, rng)
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range units.Resources() {
+				if c.TotalFree(k) != c.TotalCapacity(k) {
+					t.Errorf("drained cluster: free %v != capacity", k)
+				}
+			}
+		})
+	}
+}
+
+// TestIndexSurvivesFailureChurn focuses on the failure-injection paths of
+// failure_test.go: releases into failed boxes must not disturb the index,
+// and restores must re-expose exactly the right amounts.
+func TestIndexSurvivesFailureChurn(t *testing.T) {
+	c := mustCluster(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(7))
+	rack := c.Rack(0)
+	box := rack.BoxesOf(units.RAM)[0]
+	p, err := c.Allocate(box, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetBoxFailed(box, true)
+	checkIndexAgainstBrute(t, c, rng)
+	// Release while failed: capacity stays hidden.
+	c.Release(p)
+	checkIndexAgainstBrute(t, c, rng)
+	if got, _ := rack.MaxFree(units.RAM); got != box.Capacity() {
+		t.Errorf("max free with box 0 failed = %d, want the healthy box's %d", got, box.Capacity())
+	}
+	c.SetBoxFailed(box, false)
+	checkIndexAgainstBrute(t, c, rng)
+	if got := rack.Free(units.RAM); got != 2*box.Capacity() {
+		t.Errorf("restored rack free = %d, want %d", got, 2*box.Capacity())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
