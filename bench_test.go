@@ -64,6 +64,52 @@ func BenchmarkScheduleOne(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleOneScale is BenchmarkScheduleOne across cluster sizes:
+// the same per-VM decision on clusters from the paper's 18 racks up to
+// 1152, pre-loaded to the same per-rack operating point. With the
+// cluster-level candidate index the decision time must grow sublinearly in
+// rack count (compare racks=18 vs racks=1152 per algorithm; on noisy
+// runners use interleaved A/B runs — see EXPERIMENTS.md).
+func BenchmarkScheduleOneScale(b *testing.B) {
+	for _, racks := range experiments.ScaleLadder(experiments.DefaultScaleMaxRacks) {
+		b.Run(fmt.Sprintf("racks=%d", racks), func(b *testing.B) {
+			for _, alg := range experiments.Algorithms {
+				b.Run(alg, func(b *testing.B) {
+					setup := experiments.DefaultSetup()
+					setup.Topology.Racks = racks
+					st, err := setup.NewState()
+					if err != nil {
+						b.Fatal(err)
+					}
+					sch, err := experiments.NewScheduler(alg, st)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Pre-load to BenchmarkScheduleOne's operating point
+					// (500 VMs on 18 racks), scaled with the cluster.
+					for i := 0; i < 500*racks/18; i++ {
+						vm := workload.VM{ID: i, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+						if _, err := sch.Schedule(vm); err != nil {
+							b.Fatal(err)
+						}
+					}
+					vm := workload.VM{ID: 10_000_000, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						a, err := sch.Schedule(vm)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.StopTimer()
+						sch.Release(a)
+						b.StartTimer()
+					}
+				})
+			}
+		})
+	}
+}
+
 // BenchmarkSynthetic is one full §5.1 synthetic-workload simulation per
 // algorithm: its per-iteration time is Figure 11, its inter-rack metric
 // Figure 5.

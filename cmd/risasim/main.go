@@ -9,12 +9,16 @@
 //	risasim -exp fig5 -uplinks 4     # fabric provisioning ablation
 //	risasim -exp azure -parallel 8   # experiment grid on 8 workers
 //	risasim -exp all -parallel 1     # force strictly serial runs
+//	risasim -exp scale               # cluster-size sweep, 18 → 1152 racks
+//	risasim -exp scale -racks 288    # sweep capped at 288 racks
+//	risasim -exp fig5 -racks 36      # any experiment on a larger cluster
 //
 // The experiment ↔ paper mapping lives in DESIGN.md §5; measured-vs-paper
 // numbers are recorded in EXPERIMENTS.md.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,30 +28,89 @@ import (
 	"risa/internal/sim"
 )
 
-func main() {
-	exp := flag.String("exp", "all", "experiment to run: toy1, toy2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, pool, seeds, resilience, defrag, stranding, queue, threetier, ablations, azure, all")
-	seed := flag.Int64("seed", 1, "workload generation seed")
-	uplinks := flag.Int("uplinks", 0, "override box uplinks per box (0 = calibrated default)")
-	parallel := flag.Int("parallel", 0, "worker-pool width for experiment grids (0 = one per CPU, 1 = serial)")
-	jsonPath := flag.String("json", "", "also archive every run as a JSON report at this path")
-	flag.Parse()
+// options holds the parsed command line; parseArgs keeps it separate from
+// main so the flag plumbing is testable.
+type options struct {
+	exp      string
+	seed     int64
+	uplinks  int
+	parallel int
+	racks    int
+	racksSet bool // -racks given explicitly (an explicit 18 caps the scale ladder)
+	jsonPath string
+}
 
-	experiments.SetParallelism(*parallel)
+// parseArgs parses and validates the command line.
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("risasim", flag.ContinueOnError)
+	fs.StringVar(&o.exp, "exp", "all", "experiment to run: toy1, toy2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, pool, seeds, scale, resilience, defrag, stranding, queue, threetier, ablations, azure, all")
+	fs.Int64Var(&o.seed, "seed", 1, "workload generation seed")
+	fs.IntVar(&o.uplinks, "uplinks", 0, "override box uplinks per box (0 = calibrated default)")
+	fs.IntVar(&o.parallel, "parallel", 0, "worker-pool width for experiment grids (0 = one per CPU, 1 = serial)")
+	fs.IntVar(&o.racks, "racks", 18, "cluster size in racks; for -exp scale, the sweep's largest point")
+	fs.StringVar(&o.jsonPath, "json", "", "also archive every run as a JSON report at this path")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "racks" {
+			o.racksSet = true
+		}
+	})
+	if o.racks < 1 {
+		return o, fmt.Errorf("-racks must be at least 1, got %d", o.racks)
+	}
+	if o.parallel < 0 {
+		return o, fmt.Errorf("-parallel must be non-negative, got %d", o.parallel)
+	}
+	if o.uplinks < 0 {
+		return o, fmt.Errorf("-uplinks must be non-negative, got %d", o.uplinks)
+	}
+	return o, nil
+}
+
+// scaleMaxRacks returns the largest point of the -exp scale ladder: the
+// -racks flag when given explicitly, the 1152-rack default otherwise.
+func scaleMaxRacks(o options) int {
+	if o.racksSet {
+		return o.racks
+	}
+	return experiments.DefaultScaleMaxRacks
+}
+
+// buildSetup turns the options into the experiment setup they describe.
+func buildSetup(o options) experiments.Setup {
 	setup := experiments.DefaultSetup()
-	setup.Seed = *seed
-	if *uplinks > 0 {
-		setup.Network.BoxUplinks = *uplinks
+	setup.Seed = o.seed
+	setup.Topology.Racks = o.racks
+	if o.uplinks > 0 {
+		setup.Network.BoxUplinks = o.uplinks
 	}
+	return setup
+}
 
-	if *jsonPath != "" {
-		archive = report.NewDocument(*seed)
+func main() {
+	opts, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help: usage already printed, a clean exit
+		}
+		fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
+		os.Exit(2)
 	}
-	if err := run(setup, *exp); err != nil {
+	experiments.SetParallelism(opts.parallel)
+	setup := buildSetup(opts)
+
+	if opts.jsonPath != "" {
+		archive = report.NewDocument(opts.seed)
+	}
+	if err := run(setup, opts.exp, scaleMaxRacks(opts)); err != nil {
 		fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
 		os.Exit(1)
 	}
 	if archive != nil {
-		f, err := os.Create(*jsonPath)
+		f, err := os.Create(opts.jsonPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
 			os.Exit(1)
@@ -57,7 +120,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("JSON report written to %s (%d runs)\n", *jsonPath, len(archive.Runs))
+		fmt.Printf("JSON report written to %s (%d runs)\n", opts.jsonPath, len(archive.Runs))
 	}
 }
 
@@ -75,7 +138,10 @@ func record(results map[string]*sim.Result) {
 	}
 }
 
-func run(setup experiments.Setup, exp string) error {
+// run executes one experiment name against the setup; scaleMax is the
+// largest point of the -exp scale ladder (≤ 0 selects the 1152-rack
+// default).
+func run(setup experiments.Setup, exp string, scaleMax int) error {
 	needMatrix := map[string]bool{
 		"fig7": true, "fig8": true, "fig9": true, "fig10": true, "fig12": true,
 		"azure": true, "all": true,
@@ -84,10 +150,8 @@ func run(setup experiments.Setup, exp string) error {
 	if needMatrix[exp] {
 		// The practical-workload figures run under the storage-heavy rack
 		// composition (see experiments.AzureSetup), keeping the caller's
-		// seed and fabric overrides.
-		azureSetup := experiments.AzureSetup()
-		azureSetup.Seed = setup.Seed
-		azureSetup.Network = setup.Network
+		// seed, cluster size and fabric overrides.
+		azureSetup := experiments.AzureSetupFrom(setup)
 		var err error
 		matrix, err = azureSetup.RunAzureMatrix()
 		if err != nil {
@@ -158,10 +222,18 @@ func run(setup experiments.Setup, exp string) error {
 		}
 		fmt.Println(sweep.Render())
 	}
+	if exp == "scale" {
+		if scaleMax <= 0 {
+			scaleMax = experiments.DefaultScaleMaxRacks
+		}
+		sweep, err := setup.RunScale(experiments.ScaleLadder(scaleMax), 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sweep.Render())
+	}
 	if exp == "threetier" || exp == "all" {
-		azureSetup := experiments.AzureSetup()
-		azureSetup.Seed = setup.Seed
-		azureSetup.Network = setup.Network
+		azureSetup := experiments.AzureSetupFrom(setup)
 		tt, err := azureSetup.RunThreeTier()
 		if err != nil {
 			return err
@@ -183,9 +255,7 @@ func run(setup experiments.Setup, exp string) error {
 		fmt.Println(st.Render())
 	}
 	if exp == "defrag" || exp == "all" {
-		azureSetup := experiments.AzureSetup()
-		azureSetup.Seed = setup.Seed
-		azureSetup.Network = setup.Network
+		azureSetup := experiments.AzureSetupFrom(setup)
 		d, err := azureSetup.RunDefrag(2000)
 		if err != nil {
 			return err
@@ -193,9 +263,7 @@ func run(setup experiments.Setup, exp string) error {
 		fmt.Println(d.Render())
 	}
 	if exp == "resilience" || exp == "all" {
-		azureSetup := experiments.AzureSetup()
-		azureSetup.Seed = setup.Seed
-		azureSetup.Network = setup.Network
+		azureSetup := experiments.AzureSetupFrom(setup)
 		r, err := azureSetup.RunResilience()
 		if err != nil {
 			return err
@@ -216,7 +284,7 @@ func run(setup experiments.Setup, exp string) error {
 	}
 	if !needMatrix[exp] {
 		switch exp {
-		case "toy1", "toy2", "fig5", "fig6", "fig11", "pool", "ablations", "seeds", "resilience", "defrag", "stranding", "queue", "threetier":
+		case "toy1", "toy2", "fig5", "fig6", "fig11", "pool", "ablations", "seeds", "scale", "resilience", "defrag", "stranding", "queue", "threetier":
 		default:
 			return fmt.Errorf("unknown experiment %q", exp)
 		}

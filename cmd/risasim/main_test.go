@@ -1,6 +1,9 @@
 package main
 
 import (
+	"errors"
+	"flag"
+	"fmt"
 	"testing"
 
 	"risa/internal/experiments"
@@ -12,20 +15,20 @@ func quickSetup() experiments.Setup {
 
 func TestRunToyExperiments(t *testing.T) {
 	for _, exp := range []string{"toy1", "toy2"} {
-		if err := run(quickSetup(), exp); err != nil {
+		if err := run(quickSetup(), exp, 0); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(quickSetup(), "fig99"); err == nil {
+	if err := run(quickSetup(), "fig99", 0); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
 
 func TestRunFig6(t *testing.T) {
-	if err := run(quickSetup(), "fig6"); err != nil {
+	if err := run(quickSetup(), "fig6", 0); err != nil {
 		t.Error(err)
 	}
 }
@@ -34,7 +37,7 @@ func TestRunFig5(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full synthetic run")
 	}
-	if err := run(quickSetup(), "fig5"); err != nil {
+	if err := run(quickSetup(), "fig5", 0); err != nil {
 		t.Error(err)
 	}
 }
@@ -42,4 +45,102 @@ func TestRunFig5(t *testing.T) {
 func TestRecordWithoutArchiveIsNoop(t *testing.T) {
 	archive = nil
 	record(nil) // must not panic
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.exp != "all" || o.seed != 1 || o.racks != 18 || o.parallel != 0 || o.uplinks != 0 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestParseArgsFlagPlumbing(t *testing.T) {
+	o, err := parseArgs([]string{"-exp", "scale", "-racks", "288", "-parallel", "4", "-seed", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.exp != "scale" || o.racks != 288 || o.parallel != 4 || o.seed != 7 {
+		t.Errorf("flags not plumbed: %+v", o)
+	}
+	setup := buildSetup(o)
+	if setup.Topology.Racks != 288 {
+		t.Errorf("-racks not applied to topology: %d", setup.Topology.Racks)
+	}
+	if setup.Seed != 7 {
+		t.Errorf("-seed not applied: %d", setup.Seed)
+	}
+}
+
+func TestParseArgsRejectsInvalidValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-racks", "0"},
+		{"-racks", "-3"},
+		{"-parallel", "-1"},
+		{"-uplinks", "-2"},
+		{"-racks", "x"},
+		{"-nosuchflag"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("parseArgs(%v) should fail", args)
+		}
+	}
+}
+
+func TestBuildSetupAppliesUplinkOverride(t *testing.T) {
+	o, err := parseArgs([]string{"-uplinks", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buildSetup(o).Network.BoxUplinks; got != 4 {
+		t.Errorf("-uplinks not applied: %d", got)
+	}
+	o, err = parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buildSetup(o).Network.BoxUplinks; got != experiments.DefaultSetup().Network.BoxUplinks {
+		t.Errorf("uplinks default not calibrated: %d", got)
+	}
+}
+
+func TestScaleMaxRacksFollowsRacksFlag(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scaleMaxRacks(o); got != experiments.DefaultScaleMaxRacks {
+		t.Errorf("default scale max = %d, want %d", got, experiments.DefaultScaleMaxRacks)
+	}
+	for _, racks := range []string{"288", "18", "4"} {
+		o, err := parseArgs([]string{"-racks", racks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An explicit -racks always caps the ladder, even at the default
+		// value: `-racks 18` means a single-point sweep at the paper size.
+		if got := scaleMaxRacks(o); fmt.Sprint(got) != racks {
+			t.Errorf("scale max with -racks %s = %d", racks, got)
+		}
+	}
+}
+
+func TestRunScaleExperimentWiring(t *testing.T) {
+	// A 2-rack "sweep" keeps the wiring test fast: run must accept the
+	// scale experiment and render without error.
+	setup := quickSetup()
+	setup.Topology.Racks = 2
+	if err := run(setup, "scale", 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseArgsHelpIsErrHelp(t *testing.T) {
+	// -h must surface flag.ErrHelp so main can exit 0 after the usage
+	// text, not report a spurious error.
+	if _, err := parseArgs([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("parseArgs(-h) = %v, want flag.ErrHelp", err)
+	}
 }

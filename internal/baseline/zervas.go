@@ -110,19 +110,18 @@ func (z *zervas) ScheduleMasked(vm workload.VM, masks Masks) (*sched.Assignment,
 }
 
 // firstBox returns the first box in global order holding kind r with
-// enough free, honoring the rack mask. Racks whose free-capacity index
-// reports no large-enough box are skipped without touching their boxes,
-// which leaves the box-level scan order (and thus the chosen box)
-// identical to a full rack-major sweep.
+// enough free, honoring the rack mask. Candidate racks come from the
+// cluster-level index (ascending rack order, racks without a large-enough
+// box never surface), which leaves the box-level scan order (and thus the
+// chosen box) identical to a full rack-major sweep while skipping the
+// non-qualifying racks entirely.
 func (z *zervas) firstBox(r units.Resource, need units.Amount, mask sched.RackMask) *topology.Box {
-	for _, rack := range z.st.Cluster.Racks() {
-		if !mask.Allows(rack.Index()) {
+	cl := z.st.Cluster
+	for ri := cl.NextRackWith(r, need, 0); ri >= 0; ri = cl.NextRackWith(r, need, ri+1) {
+		if !mask.Allows(ri) {
 			continue
 		}
-		if max, _ := rack.MaxFree(r); max < need {
-			continue
-		}
-		for _, b := range rack.BoxesOf(r) {
+		for _, b := range cl.Rack(ri).BoxesOf(r) {
 			if b.Free() >= need {
 				return b
 			}
@@ -142,19 +141,17 @@ func (z *zervas) bfsFind(homeRack int, r units.Resource, need units.Amount, mask
 			return b
 		}
 	}
-	// Second BFS level: all remaining racks. The free-capacity index
-	// prunes racks with no large-enough box; dropping boxes that could
-	// never be picked does not change pickFromLevel's choice (NULB takes
-	// the first fitting box, NALB stable-sorts before the same test).
+	// Second BFS level: all remaining racks, pruned through the
+	// cluster-level candidate index so only racks with a large-enough box
+	// contribute their boxes. Dropping boxes that could never be picked
+	// does not change pickFromLevel's choice (NULB takes the first fitting
+	// box, NALB stable-sorts before the same test).
 	var level []*topology.Box
-	for _, rack := range cl.Racks() {
-		if rack.Index() == homeRack || !mask.Allows(rack.Index()) {
+	for ri := cl.NextRackWith(r, need, 0); ri >= 0; ri = cl.NextRackWith(r, need, ri+1) {
+		if ri == homeRack || !mask.Allows(ri) {
 			continue
 		}
-		if max, _ := rack.MaxFree(r); max < need {
-			continue
-		}
-		level = append(level, rack.BoxesOf(r)...)
+		level = append(level, cl.Rack(ri).BoxesOf(r)...)
 	}
 	return z.pickFromLevel(level, need)
 }

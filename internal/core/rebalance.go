@@ -50,12 +50,9 @@ func (r *RISA) migrate(a *sched.Assignment) bool {
 
 	// Release, try intra-rack, restore on failure.
 	r.st.ReleaseVM(a)
-	pool := r.intraRackPool(vm.Req)
-	if len(pool) > 0 {
-		if moved, err := r.scheduleIntra(vm, pool); err == nil {
-			*a = *moved
-			return true
-		}
+	if moved, _ := r.scheduleIntra(vm); moved != nil {
+		*a = *moved
+		return true
 	}
 	restored, err := r.st.AllocateVM(vm, oldBoxes, network.FirstFit)
 	if err != nil {

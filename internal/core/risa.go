@@ -48,10 +48,6 @@ type RISA struct {
 	// goes to box 1 although box 0 has 9 free) — i.e. next-fit. We
 	// reproduce Table 4 exactly; see DESIGN.md §4.
 	boxCursor map[int]*[units.NumResources]int
-
-	// poolBuf backs intraRackPool so building the pool on every Schedule
-	// call allocates nothing in steady state.
-	poolBuf []int
 }
 
 // New returns RISA bound to the given datacenter state.
@@ -92,17 +88,17 @@ func (r *RISA) Schedule(vm workload.VM) (*sched.Assignment, error) {
 	if !vm.Req.NonNegative() || vm.Req.IsZero() {
 		return nil, fmt.Errorf("core: VM %d has unusable request %v", vm.ID, vm.Req)
 	}
-	pool := r.intraRackPool(vm.Req)
-	if len(pool) == 0 {
-		r.stats.PoolEmpty++
-	} else {
-		if a, err := r.scheduleIntra(vm, pool); err == nil {
-			r.stats.IntraRack++
-			return a, nil
-		}
+	a, poolSeen := r.scheduleIntra(vm)
+	if a != nil {
+		r.stats.IntraRack++
+		return a, nil
+	}
+	if poolSeen {
 		// Pool racks exist but none has the network headroom (or a
 		// placement raced against bandwidth fragmentation): fall back.
 		r.stats.NetGated++
+	} else {
+		r.stats.PoolEmpty++
 	}
 	a, err := r.scheduleSuperRack(vm)
 	if err != nil {
@@ -113,55 +109,43 @@ func (r *RISA) Schedule(vm workload.VM) (*sched.Assignment, error) {
 	return a, nil
 }
 
-// intraRackPool returns the indices of racks that can host the entire VM:
-// for every requested resource some single box in the rack has enough
-// free space. Indices are ascending. Each rack answers from its
-// free-capacity index, so the pool build is O(racks) rather than
-// O(boxes); the returned slice is reused across calls.
-func (r *RISA) intraRackPool(req units.Vector) []int {
-	pool := r.poolBuf[:0]
-	for _, rack := range r.st.Cluster.Racks() {
-		if rack.FitsWholeVM(req) {
-			pool = append(pool, rack.Index())
-		}
-	}
-	r.poolBuf = pool
-	return pool
-}
-
-// scheduleIntra walks the pool round-robin starting at the cursor and
-// attempts an intra-rack placement in each candidate until one sticks.
-func (r *RISA) scheduleIntra(vm workload.VM, pool []int) (*sched.Assignment, error) {
+// scheduleIntra walks the INTRA_RACK_POOL round-robin starting at the
+// cursor and attempts an intra-rack placement in each candidate until one
+// sticks. The pool is never materialized: qualifying racks are enumerated
+// lazily through the cluster-level candidate index (NextRackFits), in
+// ascending index order rotated at the cursor — exactly the order the
+// materialized pool walk used — so in the common case where an early
+// candidate accepts the VM, the remaining racks are never even visited and
+// the decision cost is independent of the cluster size. poolSeen reports
+// whether any qualifying rack existed (a nil assignment with poolSeen set
+// means every pool rack was network-gated).
+//
+// Probing a candidate cannot disturb the enumeration: a failed probe rolls
+// back completely, so the candidate set seen by later NextRackFits calls
+// is the one a snapshot at entry would have produced.
+func (r *RISA) scheduleIntra(vm workload.VM) (a *sched.Assignment, poolSeen bool) {
 	cfg := r.st.Units()
+	cl := r.st.Cluster
 	demand := cfg.CPURAMDemand(vm.Req) + cfg.RAMSTODemand(vm.Req)
-	// Rotate the pool so iteration starts at the first rack ≥ cursor.
-	start := 0
-	for i, idx := range pool {
-		if idx >= r.cursor {
-			start = i
-			break
-		}
-	}
-	for k := 0; k < len(pool); k++ {
-		rackIdx := pool[(start+k)%len(pool)]
+	try := func(rackIdx int) *sched.Assignment {
 		r.stats.RacksProbed++
 		// AVAIL_INTRA_RACK_NET: skip racks whose intra-rack links cannot
 		// carry both of the VM's flows at all.
 		if r.st.Fabric.RackIntraFree(rackIdx) < demand {
-			continue
+			return nil
 		}
-		boxes, ok := r.chooseBoxes(r.st.Cluster.Rack(rackIdx), vm.Req)
+		boxes, ok := r.chooseBoxes(cl.Rack(rackIdx), vm.Req)
 		if !ok {
-			continue
+			return nil
 		}
 		a, err := r.st.AllocateVM(vm, boxes, network.FirstFit)
 		if err != nil {
-			continue // e.g. per-link bandwidth fragmentation; try next rack
+			return nil // e.g. per-link bandwidth fragmentation; try next rack
 		}
 		// Advance the round-robin cursor past the rack we just used and
 		// remember the next-fit box positions inside it.
 		if !r.opts.DisableRoundRobin {
-			r.cursor = (rackIdx + 1) % r.st.Cluster.NumRacks()
+			r.cursor = (rackIdx + 1) % cl.NumRacks()
 		}
 		if r.opts.Packing == NextFit {
 			cur := r.cursors(rackIdx)
@@ -171,9 +155,22 @@ func (r *RISA) scheduleIntra(vm workload.VM, pool []int) (*sched.Assignment, err
 				}
 			}
 		}
-		return a, nil
+		return a
 	}
-	return nil, fmt.Errorf("core: VM %d: no pool rack with intra-rack network headroom", vm.ID)
+	start := r.cursor
+	for i := cl.NextRackFits(vm.Req, start); i >= 0; i = cl.NextRackFits(vm.Req, i+1) {
+		poolSeen = true
+		if a := try(i); a != nil {
+			return a, true
+		}
+	}
+	for i := cl.NextRackFits(vm.Req, 0); i >= 0 && i < start; i = cl.NextRackFits(vm.Req, i+1) {
+		poolSeen = true
+		if a := try(i); a != nil {
+			return a, true
+		}
+	}
+	return nil, poolSeen
 }
 
 // cursors returns the rack's next-fit positions, creating them on first
@@ -255,13 +252,14 @@ func (r *RISA) scheduleSuperRack(vm workload.VM) (*sched.Assignment, error) {
 		if vm.Req[res] == 0 {
 			continue
 		}
+		// Enumerate only the qualifying racks through the cluster-level
+		// candidate index; the resulting mask is identical to testing
+		// MaxFree on every rack.
 		mask := make(sched.RackMask, cl.NumRacks())
 		any := false
-		for _, rack := range cl.Racks() {
-			if max, _ := rack.MaxFree(res); max >= vm.Req[res] {
-				mask[rack.Index()] = true
-				any = true
-			}
+		for i := cl.NextRackWith(res, vm.Req[res], 0); i >= 0; i = cl.NextRackWith(res, vm.Req[res], i+1) {
+			mask[i] = true
+			any = true
 		}
 		if !any {
 			return nil, fmt.Errorf("core: VM %d: SUPER_RACK empty for %v (need %d %s)",

@@ -88,6 +88,19 @@ func AzureSetup() Setup {
 	return s
 }
 
+// AzureSetupFrom returns AzureSetup with the overridable knobs of s — seed,
+// cluster size and fabric — carried over. Every place that switches from a
+// caller's setup to the practical-workload rack composition must go through
+// this helper so a newly added knob cannot be carried in one call site and
+// forgotten in another.
+func AzureSetupFrom(s Setup) Setup {
+	azure := AzureSetup()
+	azure.Seed = s.Seed
+	azure.Topology.Racks = s.Topology.Racks
+	azure.Network = s.Network
+	return azure
+}
+
 // NewState builds a fresh datacenter for the setup.
 func (s Setup) NewState() (*sched.State, error) {
 	return sched.NewState(s.Topology, s.Network)

@@ -59,9 +59,7 @@ func (s Setup) RunPoolOccupancy() (*PoolOccupancy, error) {
 	if err := collect(s, synth); err != nil {
 		return nil, err
 	}
-	azure := AzureSetup()
-	azure.Seed = s.Seed
-	azure.Network = s.Network
+	azure := AzureSetupFrom(s)
 	for _, sub := range workload.Subsets() {
 		tr, err := azure.AzureTrace(sub)
 		if err != nil {

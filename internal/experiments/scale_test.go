@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScaleLadder(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{1152, []int{18, 72, 288, 1152}},
+		{288, []int{18, 72, 288}},
+		{100, []int{18, 72, 100}},
+		{19, []int{18, 19}},
+		{18, []int{18}},
+		{4, []int{4}},
+	}
+	for _, c := range cases {
+		got := ScaleLadder(c.max)
+		if len(got) != len(c.want) {
+			t.Errorf("ScaleLadder(%d) = %v, want %v", c.max, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ScaleLadder(%d) = %v, want %v", c.max, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestScaleTraceScalesWithRacks(t *testing.T) {
+	s := DefaultSetup()
+	small, err := s.scaleTrace(18, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := s.scaleTrace(72, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.VMs) != 18*40 || len(big.VMs) != 72*40 {
+		t.Fatalf("trace lengths %d/%d, want %d/%d", len(small.VMs), len(big.VMs), 18*40, 72*40)
+	}
+	// 4x the VMs at 4x the arrival rate: the traces should span a similar
+	// stretch of simulated time, keeping the operating point fixed.
+	smallEnd := small.VMs[len(small.VMs)-1].Arrival
+	bigEnd := big.VMs[len(big.VMs)-1].Arrival
+	if bigEnd > 2*smallEnd || smallEnd > 2*bigEnd {
+		t.Errorf("trace horizons diverge: 18 racks end at t=%d, 72 racks at t=%d", smallEnd, bigEnd)
+	}
+}
+
+func TestRunScaleSmallSweep(t *testing.T) {
+	sweep, err := DefaultSetup().RunScale([]int{2, 4}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(sweep.Points))
+	}
+	for _, p := range sweep.Points {
+		if len(p.Results) != len(Algorithms) {
+			t.Errorf("racks=%d: %d algorithm results, want %d", p.Racks, len(p.Results), len(Algorithms))
+		}
+		for _, alg := range Algorithms {
+			r := p.Results[alg]
+			if r == nil {
+				t.Fatalf("racks=%d: no result for %s", p.Racks, alg)
+			}
+			if r.Scheduled+r.Dropped != p.VMs {
+				t.Errorf("racks=%d %s: %d+%d outcomes, want %d VMs",
+					p.Racks, alg, r.Scheduled, r.Dropped, p.VMs)
+			}
+			if p.PerVMDecision(alg) <= 0 {
+				t.Errorf("racks=%d %s: non-positive per-VM decision time", p.Racks, alg)
+			}
+		}
+	}
+	out := sweep.Render()
+	for _, want := range []string{"racks=2", "racks=4", "Decision-time growth", "RISA-BF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -64,6 +64,12 @@ type Cluster struct {
 	boxes []*Box // rack-major flattened order
 	free  units.Vector
 	cap   units.Vector
+
+	// cidx is the cluster-level candidate index: per resource kind, a
+	// max-tree over rack indices bounding each rack's cached MaxFree, so
+	// schedulers can enumerate qualifying racks without scanning all of
+	// them. See clusterindex.go.
+	cidx [units.NumResources]maxTree
 }
 
 // New builds the regular cluster described by cfg. Boxes within each rack
@@ -103,6 +109,7 @@ func New(cfg Config) (*Cluster, error) {
 		rack.initIndex()
 		c.racks = append(c.racks, rack)
 	}
+	c.initCandidateIndex()
 	return c, nil
 }
 
@@ -172,7 +179,7 @@ func (c *Cluster) Release(p Placement) {
 	p.Box.release(p)
 	if !p.Box.failed {
 		c.free[p.Box.kind] += p.Total
-		c.racks[p.Box.rack].noteIncrease(p.Box, p.Total)
+		c.noteRackIncrease(p.Box, p.Total)
 	}
 }
 
@@ -189,7 +196,7 @@ func (c *Cluster) SetBoxFailed(b *Box, failed bool) {
 		c.racks[b.rack].noteDecrease(b, b.free)
 	} else {
 		c.free[b.kind] += b.free
-		c.racks[b.rack].noteIncrease(b, b.free)
+		c.noteRackIncrease(b, b.free)
 	}
 }
 
@@ -291,6 +298,29 @@ func (c *Cluster) CheckInvariants() error {
 			if !ix.dirty && (ix.max != max || ix.best != best) {
 				return fmt.Errorf("rack %d %v index max %d/%v != scan %d/%v",
 					rack.index, k, ix.max, ix.best, max, best)
+			}
+			// The cluster-level candidate tree must never under-estimate a
+			// rack: a too-small bound would hide a qualifying rack from
+			// NextRackWith/NextRackFits and change placements.
+			if ub := c.cidx[k].leaf(rack.index); ub < max {
+				return fmt.Errorf("rack %d %v candidate bound %d < true max %d", rack.index, k, ub, max)
+			}
+		}
+	}
+	for _, k := range units.Resources() {
+		t := &c.cidx[k]
+		for x := 1; x < t.size; x++ {
+			m := t.node[2*x]
+			if r := t.node[2*x+1]; r > m {
+				m = r
+			}
+			if t.node[x] != m {
+				return fmt.Errorf("%v candidate tree node %d = %d, children max %d", k, x, t.node[x], m)
+			}
+		}
+		for i := t.n; i < t.size; i++ {
+			if t.leaf(i) != unusedLeaf {
+				return fmt.Errorf("%v candidate tree padding leaf %d = %d", k, i, t.leaf(i))
 			}
 		}
 	}

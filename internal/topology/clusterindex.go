@@ -1,0 +1,203 @@
+package topology
+
+import "risa/internal/units"
+
+// maxTree is a flat max-segment tree over rack indices. For one resource
+// kind it stores, per rack, an UPPER BOUND on that rack's cached MaxFree;
+// internal nodes hold the maximum of their children. It answers the
+// cluster-level candidate query every scheduler's rack scan reduces to —
+// "smallest rack index ≥ from whose best box could hold `need`" — in
+// O(log racks) per candidate instead of a linear sweep over all racks.
+//
+// The bound is deliberately lazy, mirroring the rack-level kindIndex:
+// decreases (allocate, fail) can only lower a rack's true maximum, so the
+// stale value already stored is a valid upper bound and the tree is not
+// touched at all. Increases (release, restore) raise the bound — exactly
+// when the rack's own index is clean, conservatively by the grown box's
+// free amount when it is dirty. Queries self-repair: a candidate leaf is
+// verified against the rack's true MaxFree (which may trigger the rack's
+// own O(boxes) rescan) and tightened to it, charging the repair to the
+// mutation that staled it. The tree therefore never claims a qualifying
+// rack does not exist, and never yields a rack without verifying it.
+type maxTree struct {
+	n    int            // number of racks (leaves in use)
+	size int            // power-of-two leaf span
+	node []units.Amount // 1-based heap layout; leaves at node[size+i]
+}
+
+// unusedLeaf marks padding leaves past the last rack; it is below every
+// legal bound (free amounts are ≥ 0) so padding never qualifies.
+const unusedLeaf = units.Amount(-1)
+
+// newMaxTree returns a tree for n racks with every bound set to unusedLeaf;
+// callers seed real leaves with set.
+func newMaxTree(n int) maxTree {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := maxTree{n: n, size: size, node: make([]units.Amount, 2*size)}
+	for i := range t.node {
+		t.node[i] = unusedLeaf
+	}
+	return t
+}
+
+// leaf returns rack i's current bound.
+func (t *maxTree) leaf(i int) units.Amount { return t.node[t.size+i] }
+
+// set stores rack i's bound exactly and fixes the ancestor maxima.
+func (t *maxTree) set(i int, v units.Amount) {
+	x := t.size + i
+	if t.node[x] == v {
+		return
+	}
+	t.node[x] = v
+	for x >>= 1; x >= 1; x >>= 1 {
+		m := t.node[2*x]
+		if r := t.node[2*x+1]; r > m {
+			m = r
+		}
+		if t.node[x] == m {
+			break
+		}
+		t.node[x] = m
+	}
+}
+
+// raise lifts rack i's bound to at least v.
+func (t *maxTree) raise(i int, v units.Amount) {
+	if v > t.node[t.size+i] {
+		t.set(i, v)
+	}
+}
+
+// firstAtLeast returns the smallest rack index ≥ from whose bound is ≥
+// need, or -1. Candidates still need verification against the rack's true
+// MaxFree — see Cluster.NextRackWith.
+func (t *maxTree) firstAtLeast(from int, need units.Amount) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= t.n {
+		return -1
+	}
+	return t.search(1, 0, t.size-1, from, need)
+}
+
+// search walks the subtree rooted at x (covering leaves lo..hi) left to
+// right, pruning subtrees wholly before from or whose maximum bound is
+// below need.
+func (t *maxTree) search(x, lo, hi, from int, need units.Amount) int {
+	if hi < from || t.node[x] < need {
+		return -1
+	}
+	if lo == hi {
+		return lo
+	}
+	mid := (lo + hi) / 2
+	if i := t.search(2*x, lo, mid, from, need); i >= 0 {
+		return i
+	}
+	return t.search(2*x+1, mid+1, hi, from, need)
+}
+
+// initCandidateIndex seeds the per-kind trees from the freshly built
+// racks' (clean, exact) kind indexes.
+func (c *Cluster) initCandidateIndex() {
+	for _, k := range units.Resources() {
+		c.cidx[k] = newMaxTree(len(c.racks))
+		for i, rack := range c.racks {
+			c.cidx[k].set(i, rack.idx[k].max)
+		}
+	}
+}
+
+// noteRackIncrease propagates a box's grown free amount into both the
+// rack-level index and the cluster-level candidate tree. When the rack's
+// index is clean its maximum is exact and the tree bound is tightened to
+// it; when dirty, the true maximum is unknown but can only have grown to
+// the raised box's free amount, so the bound is lifted to cover it.
+// Decreases need no counterpart: a shrinking maximum leaves the stored
+// bound a valid upper bound, and the next query tightens it lazily.
+func (c *Cluster) noteRackIncrease(b *Box, delta units.Amount) {
+	rack := c.racks[b.rack]
+	rack.noteIncrease(b, delta)
+	ix := &rack.idx[b.kind]
+	if ix.dirty {
+		c.cidx[b.kind].raise(b.rack, b.Free())
+	} else {
+		c.cidx[b.kind].set(b.rack, ix.max)
+	}
+}
+
+// NextRackWith returns the smallest rack index ≥ from whose MaxFree(k) is
+// at least need, or -1 when no such rack exists. It is the cluster-level
+// candidate query behind RISA's SUPER_RACK and NULB/NALB's rack scans:
+// candidates come from the per-kind tree in ascending rack order — the
+// exact order the pre-index linear sweeps used — and every candidate is
+// verified against (and the tree tightened to) the rack's true maximum, so
+// the answer is identical to scanning all racks. Amortized cost is
+// O(log racks) per returned rack.
+func (c *Cluster) NextRackWith(k units.Resource, need units.Amount, from int) int {
+	t := &c.cidx[k]
+	// Fast path: when candidates are dense (lightly loaded clusters, small
+	// needs) the very next rack usually qualifies; one leaf probe then
+	// costs what one iteration of the pre-index linear scan did, and the
+	// logarithmic descent is reserved for skipping sparse regions.
+	if from >= 0 && from < t.n && t.leaf(from) >= need {
+		max, _ := c.racks[from].MaxFree(k)
+		if max >= need {
+			return from
+		}
+		t.set(from, max)
+		from++
+	}
+	for {
+		i := t.firstAtLeast(from, need)
+		if i < 0 {
+			return -1
+		}
+		max, _ := c.racks[i].MaxFree(k)
+		if max != t.leaf(i) {
+			t.set(i, max)
+		}
+		if max >= need {
+			return i
+		}
+		from = i + 1
+	}
+}
+
+// NextRackFits returns the smallest rack index ≥ from that FitsWholeVM(req)
+// — the cluster-level form of RISA's INTRA_RACK_POOL test — or -1. It
+// leapfrogs the per-kind candidate sequences: the current candidate is
+// advanced to each requested kind's next qualifying rack until one pass
+// leaves it unmoved, at which point every kind qualifies. Resources with a
+// zero request never constrain, matching FitsWholeVM.
+func (c *Cluster) NextRackFits(req units.Vector, from int) int {
+	i := from
+	if i < 0 {
+		i = 0
+	}
+	for i < len(c.racks) {
+		advanced := false
+		for _, k := range units.Resources() {
+			if req[k] == 0 {
+				continue
+			}
+			j := c.NextRackWith(k, req[k], i)
+			if j < 0 {
+				return -1
+			}
+			if j > i {
+				i = j
+				advanced = true
+			}
+		}
+		if !advanced {
+			return i
+		}
+	}
+	return -1
+}

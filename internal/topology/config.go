@@ -49,9 +49,19 @@ func (c Config) Validate() error {
 	if c.Racks <= 0 {
 		return fmt.Errorf("topology: need at least one rack, got %d", c.Racks)
 	}
-	if c.CPUBoxes <= 0 || c.RAMBoxes <= 0 || c.STOBoxes <= 0 {
-		return fmt.Errorf("topology: each rack needs at least one box of every kind (cpu=%d ram=%d sto=%d)",
+	if c.CPUBoxes < 0 || c.RAMBoxes < 0 || c.STOBoxes < 0 {
+		return fmt.Errorf("topology: negative box counts (cpu=%d ram=%d sto=%d)",
 			c.CPUBoxes, c.RAMBoxes, c.STOBoxes)
+	}
+	// Every resource kind must exist somewhere in the cluster: a VM always
+	// requests storage (and usually all three kinds), so a kind with zero
+	// boxes cluster-wide makes every workload unschedulable — easy to
+	// construct by accident when sweeping rack counts and box mixes.
+	for _, k := range units.Resources() {
+		if c.BoxKindCount(k)*c.Racks <= 0 {
+			return fmt.Errorf("topology: %v has no boxes cluster-wide (%d per rack × %d racks)",
+				k, c.BoxKindCount(k), c.Racks)
+		}
 	}
 	if c.BricksPerBox <= 0 {
 		return fmt.Errorf("topology: bricks per box must be positive, got %d", c.BricksPerBox)

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -44,6 +45,34 @@ func bruteFree(r *Rack, k units.Resource) units.Amount {
 	return total
 }
 
+// bruteNextRackWith is the pre-index candidate scan: the first rack at or
+// after from whose true MaxFree covers need.
+func bruteNextRackWith(c *Cluster, k units.Resource, need units.Amount, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < c.NumRacks(); i++ {
+		if max, _ := bruteMaxFree(c.Rack(i), k); max >= need {
+			return i
+		}
+	}
+	return -1
+}
+
+// bruteNextRackFits is the pre-index pool scan: the first rack at or after
+// from that fits the whole request.
+func bruteNextRackFits(c *Cluster, req units.Vector, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < c.NumRacks(); i++ {
+		if bruteFits(c.Rack(i), req) {
+			return i
+		}
+	}
+	return -1
+}
+
 // checkIndexAgainstBrute compares every rack's indexed answers with the
 // brute-force scans, including returned-box identity (the index preserves
 // the earliest-max tie-break of the original code).
@@ -69,6 +98,26 @@ func checkIndexAgainstBrute(t *testing.T, c *Cluster, rng *rand.Rand) {
 		if got, want := rack.FitsWholeVM(req), bruteFits(rack, req); got != want {
 			t.Fatalf("rack %d: FitsWholeVM(%v) = %v, brute force = %v", rack.Index(), req, got, want)
 		}
+	}
+	// Cluster-level candidate queries: NextRackWith and NextRackFits must
+	// return exactly the rack a linear scan in ascending index order would,
+	// from random starting points (including out-of-range ones) and at
+	// random needs — the order the schedulers' placements depend on.
+	for _, k := range units.Resources() {
+		need := units.Amount(rng.Intn(10000))
+		from := rng.Intn(c.NumRacks()+2) - 1
+		if got, want := c.NextRackWith(k, need, from), bruteNextRackWith(c, k, need, from); got != want {
+			t.Fatalf("NextRackWith(%v, %d, %d) = %d, brute force = %d", k, need, from, got, want)
+		}
+	}
+	req := units.Vec(
+		units.Amount(rng.Intn(600)),
+		units.Amount(rng.Intn(600)),
+		units.Amount(rng.Intn(9000)),
+	)
+	from := rng.Intn(c.NumRacks()+2) - 1
+	if got, want := c.NextRackFits(req, from), bruteNextRackFits(c, req, from); got != want {
+		t.Fatalf("NextRackFits(%v, %d) = %d, brute force = %d", req, from, got, want)
 	}
 }
 
@@ -159,6 +208,93 @@ func TestIndexMatchesBruteForce(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestClusterIndexEnumerationUnderChurn lets the candidate tree's bounds
+// go deeply stale (many mutations between queries, unlike the per-op
+// checks above) and then enumerates full candidate sets, which must match
+// a brute-force sweep exactly — order included. This is the INTRA_RACK_POOL
+// / SUPER_RACK construction pattern.
+func TestClusterIndexEnumerationUnderChurn(t *testing.T) {
+	c := mustCluster(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(99))
+	var live []Placement
+	var failed []*Box
+	for round := 0; round < 60; round++ {
+		// A burst of mutations with no intervening reads.
+		for i := 0; i < 150; i++ {
+			switch op := rng.Intn(10); {
+			case op < 5:
+				b := c.Boxes()[rng.Intn(len(c.Boxes()))]
+				if b.Free() == 0 {
+					continue
+				}
+				p, err := c.Allocate(b, units.Amount(rng.Int63n(int64(b.Free())))+1)
+				if err == nil {
+					live = append(live, p)
+				}
+			case op < 8:
+				if len(live) == 0 {
+					continue
+				}
+				j := rng.Intn(len(live))
+				c.Release(live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case op < 9:
+				b := c.Boxes()[rng.Intn(len(c.Boxes()))]
+				if !b.Failed() {
+					c.SetBoxFailed(b, true)
+					failed = append(failed, b)
+				}
+			default:
+				if len(failed) == 0 {
+					continue
+				}
+				j := rng.Intn(len(failed))
+				c.SetBoxFailed(failed[j], false)
+				failed[j] = failed[len(failed)-1]
+				failed = failed[:len(failed)-1]
+			}
+		}
+		// Enumerate every candidate per kind and the whole-VM pool.
+		for _, k := range units.Resources() {
+			need := units.Amount(rng.Intn(600))
+			var got, want []int
+			for i := c.NextRackWith(k, need, 0); i >= 0; i = c.NextRackWith(k, need, i+1) {
+				got = append(got, i)
+			}
+			for i := bruteNextRackWith(c, k, need, 0); i >= 0; i = bruteNextRackWith(c, k, need, i+1) {
+				want = append(want, i)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("round %d: %v candidates for %d: got %v, want %v", round, k, need, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d: %v candidates for %d: got %v, want %v", round, k, need, got, want)
+				}
+			}
+		}
+		req := units.Vec(
+			units.Amount(rng.Intn(300)),
+			units.Amount(rng.Intn(300)),
+			units.Amount(rng.Intn(5000)),
+		)
+		var got, want []int
+		for i := c.NextRackFits(req, 0); i >= 0; i = c.NextRackFits(req, i+1) {
+			got = append(got, i)
+		}
+		for i := bruteNextRackFits(c, req, 0); i >= 0; i = bruteNextRackFits(c, req, i+1) {
+			want = append(want, i)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("round %d: pool for %v: got %v, want %v", round, req, got, want)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
 	}
 }
 

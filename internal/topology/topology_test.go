@@ -1,7 +1,9 @@
 package topology
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -68,6 +70,33 @@ func TestConfigValidate(t *testing.T) {
 		}
 		if _, err := New(cfg); err == nil {
 			t.Errorf("New should reject mutation %d", i)
+		}
+	}
+}
+
+func TestValidateRejectsKindsWithZeroBoxesClusterWide(t *testing.T) {
+	// A kind with zero boxes cluster-wide makes every workload
+	// unschedulable; the scale sweep's config construction makes this an
+	// easy mistake, so Validate must name the offending kind.
+	for _, k := range units.Resources() {
+		cfg := DefaultConfig()
+		switch k {
+		case units.CPU:
+			cfg.CPUBoxes = 0
+		case units.RAM:
+			cfg.RAMBoxes = 0
+		case units.Storage:
+			cfg.STOBoxes = 0
+		}
+		err := cfg.Validate()
+		if err == nil {
+			t.Fatalf("%v: config with zero boxes cluster-wide validated", k)
+		}
+		if want := fmt.Sprintf("%v has no boxes cluster-wide", k); !strings.Contains(err.Error(), want) {
+			t.Errorf("%v: error %q does not name the kind (want substring %q)", k, err, want)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%v: New accepted a kind with zero boxes cluster-wide", k)
 		}
 	}
 }
