@@ -24,6 +24,7 @@ import (
 	"risa/internal/optics"
 	"risa/internal/power"
 	"risa/internal/sched"
+	"risa/internal/sim"
 	"risa/internal/topology"
 	"risa/internal/units"
 	"risa/internal/workload"
@@ -370,4 +371,29 @@ func BenchmarkAllocateVM(b *testing.B) {
 		}
 		st.ReleaseVM(a)
 	}
+}
+
+// BenchmarkChurnSteadyState measures sustained steady-state scheduling
+// throughput: one 20 000-arrival controlled churn cell (RISA, 75 %
+// target occupancy) per iteration, reporting warmup-included
+// placements/sec as the headline metric. This is the open-ended
+// counterpart of BenchmarkSynthetic: the stream engine pulls arrivals
+// lazily, so the measured rate is what `risasim -exp churn` sustains per
+// worker.
+func BenchmarkChurnSteadyState(b *testing.B) {
+	setup := experiments.DefaultSetup()
+	cfg := sim.StreamConfig{MaxArrivals: 20000, Warmup: 12600, Window: 6300}
+	rung := experiments.ChurnRung{Label: "75%", Target: 0.75}
+	var perSec float64
+	for i := 0; i < b.N; i++ {
+		res, err := setup.RunChurnCell("RISA", rung, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalAccepted == 0 {
+			b.Fatal("churn cell placed nothing")
+		}
+		perSec = res.PlacementsPerSec()
+	}
+	b.ReportMetric(perSec, "placements/s")
 }

@@ -12,6 +12,9 @@
 //	risasim -exp scale               # cluster-size sweep, 18 → 1152 racks
 //	risasim -exp scale -racks 288    # sweep capped at 288 racks
 //	risasim -exp fig5 -racks 36      # any experiment on a larger cluster
+//	risasim -exp churn               # steady-state ladder, 100k arrivals/rung
+//	risasim -exp churn -target-util 0.8   # one rung at 80% occupancy
+//	risasim -exp churn -duration 50000    # time-capped rungs (smoke)
 //
 // The experiment ↔ paper mapping lives in DESIGN.md §5; measured-vs-paper
 // numbers are recorded in EXPERIMENTS.md.
@@ -31,25 +34,29 @@ import (
 // options holds the parsed command line; parseArgs keeps it separate from
 // main so the flag plumbing is testable.
 type options struct {
-	exp      string
-	seed     int64
-	uplinks  int
-	parallel int
-	racks    int
-	racksSet bool // -racks given explicitly (an explicit 18 caps the scale ladder)
-	jsonPath string
+	exp        string
+	seed       int64
+	uplinks    int
+	parallel   int
+	racks      int
+	racksSet   bool // -racks given explicitly (an explicit 18 caps the scale ladder)
+	jsonPath   string
+	duration   int64
+	targetUtil float64
 }
 
 // parseArgs parses and validates the command line.
 func parseArgs(args []string) (options, error) {
 	var o options
 	fs := flag.NewFlagSet("risasim", flag.ContinueOnError)
-	fs.StringVar(&o.exp, "exp", "all", "experiment to run: toy1, toy2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, pool, seeds, scale, resilience, defrag, stranding, queue, threetier, ablations, azure, all")
+	fs.StringVar(&o.exp, "exp", "all", "experiment to run: toy1, toy2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, pool, seeds, scale, churn, resilience, defrag, stranding, queue, threetier, ablations, azure, all")
 	fs.Int64Var(&o.seed, "seed", 1, "workload generation seed")
 	fs.IntVar(&o.uplinks, "uplinks", 0, "override box uplinks per box (0 = calibrated default)")
 	fs.IntVar(&o.parallel, "parallel", 0, "worker-pool width for experiment grids (0 = one per CPU, 1 = serial)")
 	fs.IntVar(&o.racks, "racks", 18, "cluster size in racks; for -exp scale, the sweep's largest point")
 	fs.StringVar(&o.jsonPath, "json", "", "also archive every run as a JSON report at this path")
+	fs.Int64Var(&o.duration, "duration", 0, "for -exp churn: cap each rung's simulated time in time units (0 = arrival budget only)")
+	fs.Float64Var(&o.targetUtil, "target-util", 0, "for -exp churn: run one rung at this binding-resource occupancy fraction instead of the ladder (>= 1 sustains overload, 0 = full ladder)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -67,7 +74,28 @@ func parseArgs(args []string) (options, error) {
 	if o.uplinks < 0 {
 		return o, fmt.Errorf("-uplinks must be non-negative, got %d", o.uplinks)
 	}
+	if o.duration < 0 {
+		return o, fmt.Errorf("-duration must be non-negative, got %d", o.duration)
+	}
+	if o.targetUtil < 0 || o.targetUtil > 4 {
+		return o, fmt.Errorf("-target-util must be 0 (full ladder) or in (0, 4], got %g", o.targetUtil)
+	}
 	return o, nil
+}
+
+// churnConfig turns the churn flags into the experiment configuration:
+// the default 100k-arrival ladder, narrowed to one custom rung when
+// -target-util is given and time-capped by -duration.
+func churnConfig(o options) experiments.ChurnConfig {
+	cfg := experiments.ChurnConfig{Duration: o.duration}
+	if o.targetUtil > 0 {
+		// %.4g keeps labels clean for fractions like 0.55, where
+		// targetUtil*100 is not exactly 55 in float64.
+		cfg.Rungs = []experiments.ChurnRung{
+			{Label: fmt.Sprintf("%.4g%%", o.targetUtil*100), Target: o.targetUtil},
+		}
+	}
+	return cfg
 }
 
 // scaleMaxRacks returns the largest point of the -exp scale ladder: the
@@ -105,7 +133,7 @@ func main() {
 	if opts.jsonPath != "" {
 		archive = report.NewDocument(opts.seed)
 	}
-	if err := run(setup, opts.exp, scaleMaxRacks(opts)); err != nil {
+	if err := run(setup, opts.exp, scaleMaxRacks(opts), churnConfig(opts)); err != nil {
 		fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
 		os.Exit(1)
 	}
@@ -140,8 +168,9 @@ func record(results map[string]*sim.Result) {
 
 // run executes one experiment name against the setup; scaleMax is the
 // largest point of the -exp scale ladder (≤ 0 selects the 1152-rack
-// default).
-func run(setup experiments.Setup, exp string, scaleMax int) error {
+// default), churn the -exp churn configuration (zero value = default
+// ladder).
+func run(setup experiments.Setup, exp string, scaleMax int, churn experiments.ChurnConfig) error {
 	needMatrix := map[string]bool{
 		"fig7": true, "fig8": true, "fig9": true, "fig10": true, "fig12": true,
 		"azure": true, "all": true,
@@ -232,6 +261,13 @@ func run(setup experiments.Setup, exp string, scaleMax int) error {
 		}
 		fmt.Println(sweep.Render())
 	}
+	if exp == "churn" {
+		c, err := setup.RunChurn(churn)
+		if err != nil {
+			return err
+		}
+		fmt.Println(c.Render())
+	}
 	if exp == "threetier" || exp == "all" {
 		azureSetup := experiments.AzureSetupFrom(setup)
 		tt, err := azureSetup.RunThreeTier()
@@ -284,7 +320,7 @@ func run(setup experiments.Setup, exp string, scaleMax int) error {
 	}
 	if !needMatrix[exp] {
 		switch exp {
-		case "toy1", "toy2", "fig5", "fig6", "fig11", "pool", "ablations", "seeds", "scale", "resilience", "defrag", "stranding", "queue", "threetier":
+		case "toy1", "toy2", "fig5", "fig6", "fig11", "pool", "ablations", "seeds", "scale", "churn", "resilience", "defrag", "stranding", "queue", "threetier":
 		default:
 			return fmt.Errorf("unknown experiment %q", exp)
 		}

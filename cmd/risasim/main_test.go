@@ -15,20 +15,20 @@ func quickSetup() experiments.Setup {
 
 func TestRunToyExperiments(t *testing.T) {
 	for _, exp := range []string{"toy1", "toy2"} {
-		if err := run(quickSetup(), exp, 0); err != nil {
+		if err := run(quickSetup(), exp, 0, experiments.ChurnConfig{}); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(quickSetup(), "fig99", 0); err == nil {
+	if err := run(quickSetup(), "fig99", 0, experiments.ChurnConfig{}); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
 
 func TestRunFig6(t *testing.T) {
-	if err := run(quickSetup(), "fig6", 0); err != nil {
+	if err := run(quickSetup(), "fig6", 0, experiments.ChurnConfig{}); err != nil {
 		t.Error(err)
 	}
 }
@@ -37,7 +37,7 @@ func TestRunFig5(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full synthetic run")
 	}
-	if err := run(quickSetup(), "fig5", 0); err != nil {
+	if err := run(quickSetup(), "fig5", 0, experiments.ChurnConfig{}); err != nil {
 		t.Error(err)
 	}
 }
@@ -132,7 +132,7 @@ func TestRunScaleExperimentWiring(t *testing.T) {
 	// scale experiment and render without error.
 	setup := quickSetup()
 	setup.Topology.Racks = 2
-	if err := run(setup, "scale", 2); err != nil {
+	if err := run(setup, "scale", 2, experiments.ChurnConfig{}); err != nil {
 		t.Error(err)
 	}
 }
@@ -142,5 +142,51 @@ func TestParseArgsHelpIsErrHelp(t *testing.T) {
 	// text, not report a spurious error.
 	if _, err := parseArgs([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
 		t.Errorf("parseArgs(-h) = %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestParseArgsChurnFlags(t *testing.T) {
+	o, err := parseArgs([]string{"-exp", "churn", "-duration", "50000", "-target-util", "0.8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.exp != "churn" || o.duration != 50000 || o.targetUtil != 0.8 {
+		t.Errorf("churn flags not plumbed: %+v", o)
+	}
+	cfg := churnConfig(o)
+	if cfg.Duration != 50000 {
+		t.Errorf("-duration not applied: %d", cfg.Duration)
+	}
+	if len(cfg.Rungs) != 1 || cfg.Rungs[0].Target != 0.8 || cfg.Rungs[0].Label != "80%" {
+		t.Errorf("-target-util not applied: %+v", cfg.Rungs)
+	}
+
+	o, err = parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := churnConfig(o); len(cfg.Rungs) != 0 || cfg.Duration != 0 {
+		t.Errorf("default churn config should select the ladder: %+v", cfg)
+	}
+
+	for _, args := range [][]string{
+		{"-duration", "-1"},
+		{"-target-util", "-0.5"},
+		{"-target-util", "9"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("parseArgs(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunChurnExperimentWiring(t *testing.T) {
+	// A short duration-capped ladder keeps the wiring test fast.
+	if err := run(quickSetup(), "churn", 0, experiments.ChurnConfig{
+		Arrivals: 4000,
+		Duration: 30000,
+		Rungs:    []experiments.ChurnRung{{Label: "50%", Target: 0.5}},
+	}); err != nil {
+		t.Error(err)
 	}
 }

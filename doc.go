@@ -6,8 +6,12 @@
 // single-resource boxes connected by a two-tier optical circuit-switched
 // fabric — and implements all four schedulers it evaluates: the NULB and
 // NALB baselines (Zervas et al.) and the RISA / RISA-BF contribution.
+// Beyond the paper's finite traces, a streaming workload engine
+// (workload.Stream + sim.RunStream) sustains open-ended arrival streams
+// at a controlled occupancy for steady-state churn experiments.
 //
-// Start with DESIGN.md for the system inventory and experiment index,
-// EXPERIMENTS.md for measured-vs-paper numbers, cmd/risasim to regenerate
-// any table or figure, and examples/quickstart for the API.
+// Start with DESIGN.md for the system inventory, experiment index and
+// steady-state methodology, EXPERIMENTS.md for measured-vs-paper
+// numbers, cmd/risasim to regenerate any table or figure, and
+// examples/quickstart for the API.
 package risa

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"risa/internal/power"
+	"risa/internal/sim"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// ChurnRung is one operating point of the steady-state utilization
+// ladder. Target is the desired binding-resource occupancy as a
+// fraction; a target at or above 1 is an overload rung and runs at a
+// fixed arrival rate of Target × the cluster's sustainable rate instead
+// of under the feedback controller (a controller chasing an unreachable
+// target just slams into its clamp).
+type ChurnRung struct {
+	Label  string
+	Target float64
+}
+
+// DefaultChurnRungs returns the ladder of the `-exp churn` scenario:
+// three controlled operating points and one overload rung.
+func DefaultChurnRungs() []ChurnRung {
+	return []ChurnRung{
+		{Label: "60%", Target: 0.60},
+		{Label: "75%", Target: 0.75},
+		{Label: "90%", Target: 0.90},
+		{Label: "overload", Target: 1.10},
+	}
+}
+
+// ChurnConfig parameterizes the steady-state churn experiment.
+type ChurnConfig struct {
+	// Arrivals per rung and algorithm (default 100 000).
+	Arrivals int
+	// Duration optionally caps each rung's simulated time (0 = none;
+	// the arrival budget is then the only stop criterion).
+	Duration int64
+	// Rungs is the utilization ladder (default DefaultChurnRungs).
+	Rungs []ChurnRung
+}
+
+// ChurnCell is one (rung, algorithm) steady-state run.
+type ChurnCell struct {
+	Rung      ChurnRung
+	Algorithm string
+	Result    *sim.SteadyState
+}
+
+// Churn is the full ladder × algorithm grid of steady-state runs.
+type Churn struct {
+	Setup    Setup
+	Arrivals int   // per-cell arrival budget (MaxArrivals)
+	Duration int64 // per-cell simulated-time cap, 0 = none
+	Lifetime int64
+	Cells    []ChurnCell // rung-major, Algorithms order
+}
+
+// churnStream builds one rung's controlled synthetic stream against the
+// given cluster capacities. The workload is the §5.1 request mix made
+// stationary: fixed lifetimes (LifetimeStep = 0), so occupancy converges
+// instead of drifting with the paper's per-set lifetime growth. The
+// initial arrival rate is computed analytically from the capacity of the
+// binding resource,
+//
+//	rate = Target · min_k cap_k / (E[lifetime] · E[req_k]),
+//
+// which lands the cluster near the target before the controller has seen
+// any feedback; sub-unity rungs then hold the point with a
+// UtilizationController, overload rungs keep the fixed (infeasible) rate.
+func churnStream(seed int64, rung ChurnRung, capacity [units.NumResources]units.Amount) (*workload.SyntheticStream, error) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Seed = seed
+	cfg.LifetimeStep = 0 // stationary lifetimes
+
+	meanReq := [units.NumResources]float64{
+		units.CPU:     float64(cfg.CPUMin+cfg.CPUMax) / 2,
+		units.RAM:     float64(cfg.RAMMin+cfg.RAMMax) / 2,
+		units.Storage: float64(cfg.StorageGB),
+	}
+	bindingRate := 0.0
+	for _, k := range units.Resources() {
+		if meanReq[k] <= 0 {
+			continue
+		}
+		r := float64(capacity[k]) / (float64(cfg.LifetimeBase) * meanReq[k])
+		if bindingRate == 0 || r < bindingRate {
+			bindingRate = r
+		}
+	}
+	if bindingRate <= 0 {
+		return nil, fmt.Errorf("experiments: churn cluster has no capacity")
+	}
+	cfg.MeanInterarrival = 1 / (rung.Target * bindingRate)
+	if rung.Target < 1 {
+		cfg.Controller = &workload.UtilizationController{Target: rung.Target}
+	}
+	return cfg.NewStream()
+}
+
+// RunChurn executes the steady-state churn grid: every rung of the
+// ladder under every algorithm, each on a fresh datacenter, each
+// sustaining cfg.Arrivals arrivals with warmup-excluded windowed
+// metrics. Cells run on the shared worker pool; placements, acceptance
+// and utilization are deterministic, while the latency percentiles and
+// placements/sec are wall-clock and inflate when cells contend for cores
+// (regenerate with -parallel 1 for honest timings, like Figure 12).
+func (s Setup) RunChurn(cfg ChurnConfig) (*Churn, error) {
+	if cfg.Arrivals == 0 {
+		cfg.Arrivals = 100000
+	}
+	if cfg.Arrivals < 0 || cfg.Duration < 0 {
+		return nil, fmt.Errorf("experiments: negative churn bounds (arrivals %d, duration %d)", cfg.Arrivals, cfg.Duration)
+	}
+	if len(cfg.Rungs) == 0 {
+		cfg.Rungs = DefaultChurnRungs()
+	}
+	for _, r := range cfg.Rungs {
+		if r.Target <= 0 {
+			return nil, fmt.Errorf("experiments: churn rung %q target must be positive, got %g", r.Label, r.Target)
+		}
+	}
+	base := workload.DefaultSyntheticConfig()
+
+	// Warmup: two lifetimes fills and settles the resident population;
+	// window: one lifetime. Both shrink when a -duration cap leaves no
+	// room for them.
+	warmup := 2 * base.LifetimeBase
+	window := base.LifetimeBase
+	if cfg.Duration > 0 {
+		if warmup > cfg.Duration/4 {
+			warmup = cfg.Duration / 4
+		}
+		if window > (cfg.Duration-warmup)/4 {
+			window = (cfg.Duration - warmup) / 4
+		}
+		if window < 1 {
+			window = 1
+		}
+	}
+
+	out := &Churn{Setup: s, Arrivals: cfg.Arrivals, Duration: cfg.Duration, Lifetime: base.LifetimeBase}
+	out.Cells = make([]ChurnCell, 0, len(cfg.Rungs)*len(Algorithms))
+	for _, rung := range cfg.Rungs {
+		for _, alg := range Algorithms {
+			out.Cells = append(out.Cells, ChurnCell{Rung: rung, Algorithm: alg})
+		}
+	}
+
+	errs := make([]error, len(out.Cells))
+	Engine{}.ForEach(len(out.Cells), func(i int) {
+		cell := &out.Cells[i]
+		cell.Result, errs[i] = s.RunChurnCell(cell.Algorithm, cell.Rung, sim.StreamConfig{
+			MaxArrivals: cfg.Arrivals,
+			Duration:    cfg.Duration,
+			Warmup:      warmup,
+			Window:      window,
+		})
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s at rung %s: %w", out.Cells[i].Algorithm, out.Cells[i].Rung.Label, err)
+		}
+	}
+	return out, nil
+}
+
+// RunChurnCell executes one steady-state cell: the named algorithm on a
+// fresh datacenter consuming the rung's controlled stream under the
+// given stream configuration.
+func (s Setup) RunChurnCell(algorithm string, rung ChurnRung, cfg sim.StreamConfig) (*sim.SteadyState, error) {
+	st, err := s.NewState()
+	if err != nil {
+		return nil, err
+	}
+	var capacity [units.NumResources]units.Amount
+	for _, k := range units.Resources() {
+		capacity[k] = st.Cluster.TotalCapacity(k)
+	}
+	stream, err := churnStream(s.Seed, rung, capacity)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := NewScheduler(algorithm, st)
+	if err != nil {
+		return nil, err
+	}
+	model, err := power.NewModel(s.Optics)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := sim.NewRunner(st, sch, sim.Config{PowerModel: model})
+	if err != nil {
+		return nil, err
+	}
+	return runner.RunStream(stream, cfg)
+}
+
+// windowAcceptance summarizes per-window acceptance: mean and minimum
+// over the complete windows (100/100 when there are none).
+func windowAcceptance(windows []sim.WindowStats) (mean, min float64) {
+	if len(windows) == 0 {
+		return 100, 100
+	}
+	min = 100
+	for _, w := range windows {
+		a := w.AcceptancePct()
+		mean += a
+		if a < min {
+			min = a
+		}
+	}
+	return mean / float64(len(windows)), min
+}
+
+// Render draws the ladder as one table per rung.
+func (c *Churn) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Steady-state churn: open-ended synthetic stream, fixed %d tu lifetimes, %d racks, %d-arrival budget per cell",
+		c.Lifetime, c.Setup.Topology.Racks, c.Arrivals)
+	if c.Duration > 0 {
+		fmt.Fprintf(&b, " (time-capped at %d tu)", c.Duration)
+	}
+	b.WriteString("\n")
+	b.WriteString("(metrics exclude warmup; acc%/win is mean over complete windows, with the worst window in parentheses;\n")
+	b.WriteString(" latency percentiles and placements/s are wall-clock — regenerate with -parallel 1 for honest timings)\n")
+	for _, cell := range c.Cells {
+		if cell.Algorithm == Algorithms[0] {
+			fmt.Fprintf(&b, "rung %-9s target %.0f%% binding utilization\n", cell.Rung.Label, cell.Rung.Target*100)
+			fmt.Fprintf(&b, "  %-8s %9s %7s %6s %17s %5s %14s %21s %9s\n",
+				"alg", "arrivals", "accept%", "drops", "util C/R/S %", "wins", "acc%/win", "p50/p95/p99 decision", "place/s")
+		}
+		r := cell.Result
+		accPct := 100.0
+		if r.Arrivals > 0 {
+			accPct = float64(r.Accepted) / float64(r.Arrivals) * 100
+		}
+		meanWin, minWin := windowAcceptance(r.Windows)
+		fmt.Fprintf(&b, "  %-8s %9d %7.2f %6d %5.1f/%4.1f/%4.1f %5d %6.1f (%5.1f) %6s/%6s/%6s %9.0f\n",
+			cell.Algorithm, r.Arrivals, accPct, r.Dropped,
+			r.AvgUtil[units.CPU], r.AvgUtil[units.RAM], r.AvgUtil[units.Storage],
+			len(r.Windows), meanWin, minWin,
+			shortDur(r.LatencyP50), shortDur(r.LatencyP95), shortDur(r.LatencyP99),
+			r.PlacementsPerSec())
+	}
+	return b.String()
+}
+
+// shortDur renders a decision latency compactly (µs with one decimal).
+func shortDur(d time.Duration) string {
+	return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"risa/internal/sim"
+	"risa/internal/units"
+)
+
+// smallChurn is a ladder small enough for unit tests: two rungs,
+// duration-capped so each cell stays in the thousands of arrivals.
+func smallChurn() ChurnConfig {
+	return ChurnConfig{
+		Arrivals: 20000,
+		Duration: 40000,
+		Rungs: []ChurnRung{
+			{Label: "55%", Target: 0.55},
+			{Label: "overload", Target: 1.20},
+		},
+	}
+}
+
+func TestRunChurnLadder(t *testing.T) {
+	c, err := DefaultSetup().RunChurn(smallChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Cells) != 2*len(Algorithms) {
+		t.Fatalf("cells = %d, want %d", len(c.Cells), 2*len(Algorithms))
+	}
+	for _, cell := range c.Cells {
+		r := cell.Result
+		if r == nil {
+			t.Fatalf("%s/%s: no result", cell.Rung.Label, cell.Algorithm)
+		}
+		if r.Arrivals == 0 || len(r.Windows) == 0 {
+			t.Fatalf("%s/%s: empty measurement (%d arrivals, %d windows)",
+				cell.Rung.Label, cell.Algorithm, r.Arrivals, len(r.Windows))
+		}
+		if r.Arrivals != r.Accepted+r.Dropped {
+			t.Errorf("%s/%s: %d arrivals != %d accepted + %d dropped",
+				cell.Rung.Label, cell.Algorithm, r.Arrivals, r.Accepted, r.Dropped)
+		}
+		switch cell.Rung.Label {
+		case "55%":
+			if r.Dropped != 0 {
+				t.Errorf("55%%/%s: %d drops at a comfortable operating point", cell.Algorithm, r.Dropped)
+			}
+			// The controller holds the binding resource near target.
+			util := r.AvgUtil[units.CPU]
+			if r.AvgUtil[units.RAM] > util {
+				util = r.AvgUtil[units.RAM]
+			}
+			if util < 40 || util > 70 {
+				t.Errorf("55%%/%s: binding utilization %.1f%%, want near 55", cell.Algorithm, util)
+			}
+		case "overload":
+			if r.Dropped == 0 {
+				t.Errorf("overload/%s: no drops while overloaded", cell.Algorithm)
+			}
+			acc := float64(r.Accepted) / float64(r.Arrivals)
+			if acc < 0.70 || acc > 0.99 {
+				t.Errorf("overload/%s: acceptance %.2f, want the 1/1.2-ish overload regime", cell.Algorithm, acc)
+			}
+		}
+	}
+	out := c.Render()
+	for _, want := range []string{"rung 55%", "rung overload", "RISA-BF", "acc%/win"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChurnDeterministicAcrossParallelism pins that the placement-side
+// results of the churn grid are independent of the worker-pool width
+// (only wall-clock fields may differ).
+func TestChurnDeterministicAcrossParallelism(t *testing.T) {
+	cfg := ChurnConfig{
+		Arrivals: 5000,
+		Duration: 30000,
+		Rungs:    []ChurnRung{{Label: "60%", Target: 0.60}},
+	}
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(1)
+	serial, err := DefaultSetup().RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	pooled, err := DefaultSetup().RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Cells {
+		a, b := serial.Cells[i].Result, pooled.Cells[i].Result
+		if a.TotalArrivals != b.TotalArrivals || a.Accepted != b.Accepted || a.Dropped != b.Dropped {
+			t.Errorf("%s: counts differ across pool widths: %d/%d/%d vs %d/%d/%d",
+				serial.Cells[i].Algorithm,
+				a.TotalArrivals, a.Accepted, a.Dropped, b.TotalArrivals, b.Accepted, b.Dropped)
+		}
+		if a.AvgUtil != b.AvgUtil {
+			t.Errorf("%s: utilization differs across pool widths", serial.Cells[i].Algorithm)
+		}
+		if len(a.Windows) != len(b.Windows) {
+			t.Errorf("%s: window count differs across pool widths", serial.Cells[i].Algorithm)
+			continue
+		}
+		for w := range a.Windows {
+			wa, wb := a.Windows[w], b.Windows[w]
+			if wa.Arrivals != wb.Arrivals || wa.Accepted != wb.Accepted || wa.AvgUtil != wb.AvgUtil {
+				t.Errorf("%s window %d differs across pool widths", serial.Cells[i].Algorithm, w)
+			}
+		}
+	}
+}
+
+func TestRunChurnValidation(t *testing.T) {
+	if _, err := DefaultSetup().RunChurn(ChurnConfig{Arrivals: -1}); err == nil {
+		t.Error("negative arrivals must fail")
+	}
+	if _, err := DefaultSetup().RunChurn(ChurnConfig{
+		Rungs: []ChurnRung{{Label: "bad", Target: 0}},
+	}); err == nil {
+		t.Error("zero target must fail")
+	}
+}
+
+func TestRunChurnCell(t *testing.T) {
+	res, err := DefaultSetup().RunChurnCell("RISA", ChurnRung{Label: "50%", Target: 0.5},
+		sim.StreamConfig{MaxArrivals: 2000, Window: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalArrivals != 2000 {
+		t.Errorf("arrivals = %d, want 2000", res.TotalArrivals)
+	}
+	if res.PlacementsPerSec() <= 0 {
+		t.Error("placements/sec should be positive")
+	}
+	if _, err := DefaultSetup().RunChurnCell("nope", ChurnRung{Label: "x", Target: 0.5},
+		sim.StreamConfig{MaxArrivals: 10, Window: 10}); err == nil {
+		t.Error("unknown algorithm must fail")
+	}
+}

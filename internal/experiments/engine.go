@@ -106,6 +106,40 @@ func (e Engine) RunChecked(jobs []Job) ([]Outcome, error) {
 	return outcomes, nil
 }
 
+// ForEach runs task(0..n-1) on the engine's worker pool and blocks until
+// all have returned. It is the generic form of Run for experiment cells
+// that are not (setup, algorithm, trace) jobs — e.g. the churn grid,
+// whose cells build their own streams. Tasks must be independent; they
+// run in arbitrary order.
+func (e Engine) ForEach(n int, task func(i int)) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = Parallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // FirstError returns the first failed outcome's error, annotated with the
 // job that produced it, or nil when the whole grid succeeded.
 func FirstError(outcomes []Outcome) error {

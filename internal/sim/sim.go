@@ -51,9 +51,15 @@ type event struct {
 	do   func(st *sched.State) // inject only
 }
 
+// eventHeap implements heap.Interface over events ordered by
+// (time, kind, sequence); h[0] is the next event to fire.
 type eventHeap []event
 
+// Len implements heap.Interface.
 func (h eventHeap) Len() int { return len(h) }
+
+// Less implements heap.Interface: earlier times first, then kind order
+// (inject < departure < arrival), then FIFO.
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
@@ -63,8 +69,14 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+
+// Swap implements heap.Interface.
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+
+// Pop implements heap.Interface.
 func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
@@ -204,19 +216,21 @@ func NewRunner(st *sched.State, sch sched.Scheduler, cfg Config) (*Runner, error
 // Run plays the whole trace and returns the aggregated result. The state
 // is left as the trace leaves it (all VMs depart by trace makespan, so a
 // full run restores the initial state).
+//
+// Internally the trace is consumed through the workload.Stream adapter:
+// arrivals are pulled lazily one at a time, so the event heap only ever
+// holds the pending departures (plus injections) — the same bounded
+// event loop RunStream uses for open-ended workloads.
 func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
+	src := workload.NewTraceStream(tr)
 	res := &Result{Algorithm: r.sch.Name(), Workload: tr.Name}
 	acct := power.NewAccountant(r.model)
 
 	var h eventHeap
 	seq := 0
-	for _, vm := range tr.VMs {
-		h = append(h, event{t: vm.Arrival, kind: arrival, seq: seq, vm: vm})
-		seq++
-	}
 	for _, inj := range r.injections {
 		h = append(h, event{t: inj.T, kind: inject, seq: seq, do: inj.Do})
 		seq++
@@ -294,8 +308,17 @@ func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 	}
 	record(0)
 
-	for h.Len() > 0 {
-		e := heap.Pop(&h).(event)
+	pending, more := src.Next()
+	for h.Len() > 0 || more {
+		// Next event: the heap's minimum, unless the pending arrival
+		// comes first (see heapFirst for the simultaneous-event order).
+		var e event
+		if heapFirst(h, pending, more) {
+			e = heap.Pop(&h).(event)
+		} else {
+			e = event{t: pending.Arrival, kind: arrival, vm: pending}
+			pending, more = src.Next()
+		}
 		if e.t < lastT {
 			return nil, fmt.Errorf("sim: event time went backwards: %d < %d", e.t, lastT)
 		}

@@ -1,0 +1,445 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// StreamConfig parameterizes one open-ended steady-state run
+// (Runner.RunStream). At least one of MaxArrivals and Duration must bound
+// the run.
+type StreamConfig struct {
+	// MaxArrivals stops the run after this many arrivals have been
+	// processed (0 = unbounded, then Duration must be set).
+	MaxArrivals int
+	// Duration stops the run at this simulated time: arrivals beyond it
+	// are not consumed (0 = unbounded, then MaxArrivals must be set).
+	Duration int64
+	// Warmup excludes the first Warmup time units from every metric:
+	// windows, utilization averages, acceptance counts and the latency
+	// reservoir all start at t = Warmup. The controller (if the stream
+	// has one) receives feedback from t = 0 so it converges during
+	// warmup.
+	Warmup int64
+	// Window is the steady-state reporting window length in time units;
+	// must be positive. Only complete windows are reported.
+	Window int64
+	// ReservoirSize bounds the placement-decision latency sample kept for
+	// the percentile estimates (default 4096).
+	ReservoirSize int
+	// ReservoirSeed seeds the reservoir's sampling randomness, so a run
+	// is reproducible end to end (default 1).
+	ReservoirSeed int64
+	// Drain, when set, keeps simulating departures after the arrival
+	// budget is exhausted until the cluster is empty again (excluded from
+	// all metrics — an emptying cluster is not steady state). The default
+	// stops at the last arrival and leaves the state loaded.
+	Drain bool
+}
+
+// validate checks the configuration.
+func (c StreamConfig) validate() error {
+	if c.MaxArrivals <= 0 && c.Duration <= 0 {
+		return fmt.Errorf("sim: stream run needs a stop criterion (MaxArrivals or Duration)")
+	}
+	if c.MaxArrivals < 0 || c.Duration < 0 || c.Warmup < 0 {
+		return fmt.Errorf("sim: negative stream bounds (arrivals %d, duration %d, warmup %d)",
+			c.MaxArrivals, c.Duration, c.Warmup)
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("sim: stream window must be positive, got %d", c.Window)
+	}
+	if c.Duration > 0 && c.Duration <= c.Warmup {
+		return fmt.Errorf("sim: duration %d must exceed warmup %d", c.Duration, c.Warmup)
+	}
+	if c.ReservoirSize < 0 {
+		return fmt.Errorf("sim: negative reservoir size %d", c.ReservoirSize)
+	}
+	return nil
+}
+
+// WindowStats is one complete steady-state reporting window.
+type WindowStats struct {
+	// Start and End delimit the window, [Start, End).
+	Start, End int64
+	// Arrivals, Accepted and Dropped count the VMs that arrived inside
+	// the window.
+	Arrivals, Accepted, Dropped int
+	// AvgUtil is the time-weighted compute utilization per resource over
+	// the window, in percent.
+	AvgUtil [units.NumResources]float64
+}
+
+// AcceptancePct returns the window's acceptance rate in percent (100 for
+// an empty window).
+func (w WindowStats) AcceptancePct() float64 {
+	if w.Arrivals == 0 {
+		return 100
+	}
+	return float64(w.Accepted) / float64(w.Arrivals) * 100
+}
+
+// SteadyState aggregates one open-ended run. The "measured" figures
+// exclude the warmup period; the "Total" figures cover the whole run.
+type SteadyState struct {
+	Algorithm string
+	Workload  string
+
+	// Whole-run counters (warmup included).
+	TotalArrivals, TotalAccepted, TotalDropped int
+
+	// Measured (post-warmup) counters.
+	Arrivals, Accepted, Dropped int
+
+	// Windows holds every complete post-warmup reporting window.
+	Windows []WindowStats
+
+	// AvgUtil is the time-weighted compute utilization per resource over
+	// the whole measured span, in percent.
+	AvgUtil [units.NumResources]float64
+
+	// Placement-decision latency percentiles over the measured phase,
+	// estimated from a fixed-size reservoir of LatencySamples
+	// observations.
+	LatencyP50, LatencyP95, LatencyP99 time.Duration
+	LatencySamples                     int
+
+	// SchedulingTime is the wall clock spent inside Schedule calls;
+	// WallTime the whole run's wall clock (drain excluded).
+	SchedulingTime time.Duration
+	WallTime       time.Duration
+
+	// End is the simulated time of the last measured event; Resident the
+	// VMs still placed then.
+	End      int64
+	Resident int
+
+	// RateMultiplier is the stream controller's final rate multiplier
+	// (1 for uncontrolled streams).
+	RateMultiplier float64
+}
+
+// PlacementsPerSec returns the sustained scheduling throughput: accepted
+// VMs (whole run) per wall-clock second.
+func (s *SteadyState) PlacementsPerSec() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return float64(s.TotalAccepted) / s.WallTime.Seconds()
+}
+
+// RunStream drives the scheduler over an open-ended arrival stream until
+// the configured stop criterion, reporting warmup-excluded windowed
+// steady-state metrics instead of Run's whole-trace aggregates.
+//
+// Arrivals are pulled lazily — the event heap only ever holds the
+// resident VMs' departures, so memory is bounded by occupancy, not run
+// length. Drop-on-failure semantics only (the FIFO retry queue and fault
+// injections are finite-trace features of Run); if the stream implements
+// workload.UtilizationObserver it receives the binding-resource
+// utilization after every arrival, which is how the target-utilization
+// controller closes its loop.
+func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(r.injections) > 0 || r.retry {
+		return nil, fmt.Errorf("sim: RunStream does not support injections or the retry queue")
+	}
+	size := cfg.ReservoirSize
+	if size == 0 {
+		size = 4096
+	}
+	seed := cfg.ReservoirSeed
+	if seed == 0 {
+		seed = 1
+	}
+	obs, _ := s.(workload.UtilizationObserver)
+	res := &SteadyState{Algorithm: r.sch.Name(), Workload: s.Name(), RateMultiplier: 1}
+	lat := newReservoir(size, seed)
+	wind := &windower{warmup: cfg.Warmup, window: cfg.Window}
+
+	utilNow := func() (perRes [units.NumResources]float64, binding float64) {
+		for _, k := range units.Resources() {
+			u := r.st.Cluster.Utilization(k)
+			perRes[k] = u * 100
+			if u > binding {
+				binding = u
+			}
+		}
+		return
+	}
+
+	var h eventHeap
+	seq := 0
+	resident := 0
+	var lastT int64
+	wallStart := time.Now()
+
+	pending, more := s.Next()
+	if more && cfg.Duration > 0 && pending.Arrival > cfg.Duration {
+		more = false // the very first arrival already lies beyond the bound
+	}
+	if more {
+		res.TotalArrivals++
+	}
+	// The run ends with the arrival budget: simulating past the last
+	// arrival would only measure an emptying cluster, which is not steady
+	// state (Drain releases the survivors afterwards, unmetered).
+	for more || h.Len() > 0 {
+		var e event
+		if heapFirst(h, pending, more) {
+			e = heap.Pop(&h).(event)
+		} else {
+			e = event{t: pending.Arrival, kind: arrival, vm: pending}
+			// Stop criterion: pull the successor only while the arrival
+			// budget and the simulated-time bound both allow it.
+			if cfg.MaxArrivals > 0 && res.TotalArrivals >= cfg.MaxArrivals {
+				more = false
+			} else {
+				pending, more = s.Next()
+				if more && cfg.Duration > 0 && pending.Arrival > cfg.Duration {
+					more = false
+				}
+				if more {
+					res.TotalArrivals++
+				}
+			}
+		}
+		if e.t < lastT {
+			return nil, fmt.Errorf("sim: stream %q time went backwards: %d < %d", s.Name(), e.t, lastT)
+		}
+		wind.advance(e.t)
+		lastT = e.t
+		measured := e.t >= cfg.Warmup
+
+		if e.kind == departure {
+			r.sch.Release(e.a)
+			resident--
+			perRes, _ := utilNow()
+			wind.set(perRes)
+			continue
+		}
+		if err := e.vm.Validate(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		a, err := r.sch.Schedule(e.vm)
+		d := time.Since(start)
+		res.SchedulingTime += d
+		if measured {
+			res.Arrivals++
+			wind.cur.Arrivals++
+			lat.add(float64(d))
+		}
+		if err != nil {
+			res.TotalDropped++
+			if measured {
+				res.Dropped++
+				wind.cur.Dropped++
+			}
+		} else {
+			res.TotalAccepted++
+			resident++
+			if measured {
+				res.Accepted++
+				wind.cur.Accepted++
+			}
+			heap.Push(&h, event{t: e.t + e.vm.Lifetime, kind: departure, seq: seq, vm: e.vm, a: a})
+			seq++
+		}
+		perRes, binding := utilNow()
+		wind.set(perRes)
+		if obs != nil {
+			obs.ObserveUtilization(binding)
+		}
+		if !more {
+			break // the arrival just processed was the last: stop here
+		}
+	}
+	res.WallTime = time.Since(wallStart)
+
+	res.End = lastT
+	res.Resident = resident
+	res.Windows = wind.close(lastT)
+	res.AvgUtil = wind.overallAvg(lastT)
+	res.LatencySamples = lat.samples()
+	res.LatencyP50 = time.Duration(lat.percentile(50))
+	res.LatencyP95 = time.Duration(lat.percentile(95))
+	res.LatencyP99 = time.Duration(lat.percentile(99))
+	res.RateMultiplier = finalMultiplier(s)
+
+	if cfg.Drain {
+		// Unmetered: release the survivors so the state ends empty.
+		for h.Len() > 0 {
+			e := heap.Pop(&h).(event)
+			if e.kind == departure {
+				r.sch.Release(e.a)
+			}
+		}
+	}
+	return res, nil
+}
+
+// heapFirst decides the merge order between the event heap's minimum and
+// the single materialized pending arrival — the ordering both event
+// loops (Run and RunStream) share: injections and departures outrank
+// arrivals at equal times (kind order), and arrivals at equal times keep
+// stream order because only one is materialized at a time.
+func heapFirst(h eventHeap, pending workload.VM, more bool) bool {
+	return h.Len() > 0 && (!more || h[0].t < pending.Arrival ||
+		(h[0].t == pending.Arrival && h[0].kind < arrival))
+}
+
+// controlled is implemented by the workload generator streams that carry
+// a UtilizationController.
+type controlled interface {
+	Controller() *workload.UtilizationController
+}
+
+// finalMultiplier recovers a stream's final rate multiplier when it
+// exposes its controller, else 1.
+func finalMultiplier(s workload.Stream) float64 {
+	if c, ok := s.(controlled); ok {
+		if ctl := c.Controller(); ctl != nil {
+			return ctl.Multiplier()
+		}
+	}
+	return 1
+}
+
+// windower integrates the piecewise-constant utilization signal into
+// fixed-length post-warmup windows plus an overall measured average, and
+// attributes arrival counts to the open window.
+type windower struct {
+	warmup, window int64
+
+	cur         WindowStats
+	curIntegral [units.NumResources]float64
+	windows     []WindowStats
+
+	overall [units.NumResources]float64 // integral since warmup
+
+	val   [units.NumResources]float64 // current signal, percent
+	lastT int64
+}
+
+// set records the signal's value from the last advanced time onward.
+func (w *windower) set(val [units.NumResources]float64) { w.val = val }
+
+// advance integrates the current signal up to time to, splitting the
+// integral at window boundaries and closing every window it crosses.
+func (w *windower) advance(to int64) {
+	t := w.lastT
+	w.lastT = to
+	if to <= w.warmup {
+		return
+	}
+	if t < w.warmup {
+		t = w.warmup
+	}
+	if w.cur.End == 0 { // first measured segment: open window 0
+		w.cur.Start, w.cur.End = w.warmup, w.warmup+w.window
+	}
+	for t < to {
+		seg := to
+		if w.cur.End < seg {
+			seg = w.cur.End
+		}
+		dt := float64(seg - t)
+		for k := range w.val {
+			w.curIntegral[k] += w.val[k] * dt
+			w.overall[k] += w.val[k] * dt
+		}
+		t = seg
+		if t == w.cur.End {
+			w.closeCurrent()
+		}
+	}
+}
+
+// closeCurrent finalizes the open window and opens its successor.
+func (w *windower) closeCurrent() {
+	span := float64(w.cur.End - w.cur.Start)
+	for k := range w.curIntegral {
+		w.cur.AvgUtil[k] = w.curIntegral[k] / span
+	}
+	w.windows = append(w.windows, w.cur)
+	w.cur = WindowStats{Start: w.cur.End, End: w.cur.End + w.window}
+	w.curIntegral = [units.NumResources]float64{}
+}
+
+// close ends the run at time end and returns the complete windows; a
+// trailing partial window is folded into the overall average but not
+// reported (it is not a full steady-state window).
+func (w *windower) close(end int64) []WindowStats {
+	w.advance(end)
+	return w.windows
+}
+
+// overallAvg returns the measured-span time average per resource.
+func (w *windower) overallAvg(end int64) [units.NumResources]float64 {
+	var out [units.NumResources]float64
+	if end <= w.warmup {
+		return out
+	}
+	span := float64(end - w.warmup)
+	for k := range w.overall {
+		out[k] = w.overall[k] / span
+	}
+	return out
+}
+
+// reservoir is a fixed-size uniform sample over a stream of observations
+// (Vitter's algorithm R), used for the decision-latency percentiles.
+type reservoir struct {
+	k    int
+	n    int64
+	vals []float64
+	rng  *rand.Rand
+}
+
+// newReservoir returns a reservoir holding at most k samples.
+func newReservoir(k int, seed int64) *reservoir {
+	return &reservoir{k: k, rng: rand.New(rand.NewSource(seed))}
+}
+
+// add offers one observation to the reservoir.
+func (r *reservoir) add(v float64) {
+	r.n++
+	if len(r.vals) < r.k {
+		r.vals = append(r.vals, v)
+		return
+	}
+	if j := r.rng.Int63n(r.n); j < int64(r.k) {
+		r.vals[j] = v
+	}
+}
+
+// samples returns the number of observations currently held.
+func (r *reservoir) samples() int { return len(r.vals) }
+
+// percentile returns the p-th percentile (nearest-rank) of the held
+// sample, 0 when empty.
+func (r *reservoir) percentile(p float64) float64 {
+	if len(r.vals) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(r.vals))
+	copy(sorted, r.vals)
+	sort.Float64s(sorted)
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

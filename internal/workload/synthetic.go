@@ -2,7 +2,6 @@ package workload
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"risa/internal/units"
@@ -60,6 +59,13 @@ type SyntheticConfig struct {
 	// values default to 4× and 2000 time units.
 	BurstFactor float64
 	BurstPeriod float64
+
+	// Controller, when non-nil, scales the arrival rate by the
+	// controller's multiplier — only meaningful for the open-ended
+	// NewStream form, where the simulator feeds occupancy back (see
+	// UtilizationController). The finite Synthetic never receives
+	// feedback, so a controller leaves it unchanged.
+	Controller *UtilizationController
 }
 
 // DefaultSyntheticConfig returns the paper's exact parameters.
@@ -77,11 +83,17 @@ func DefaultSyntheticConfig() SyntheticConfig {
 	}
 }
 
-// Validate checks generator sanity.
+// Validate checks generator sanity for the finite Synthetic form.
 func (c SyntheticConfig) Validate() error {
 	if c.N <= 0 {
 		return fmt.Errorf("workload: synthetic N must be positive, got %d", c.N)
 	}
+	return c.validateStream()
+}
+
+// validateStream checks everything Validate does except N, which the
+// open-ended stream form ignores.
+func (c SyntheticConfig) validateStream() error {
 	if c.MeanInterarrival <= 0 {
 		return fmt.Errorf("workload: mean interarrival must be positive, got %g", c.MeanInterarrival)
 	}
@@ -103,6 +115,11 @@ func (c SyntheticConfig) Validate() error {
 	}
 	if c.BurstFactor < 0 || c.BurstPeriod < 0 {
 		return fmt.Errorf("workload: negative burst parameters (%g, %g)", c.BurstFactor, c.BurstPeriod)
+	}
+	if c.Controller != nil {
+		if err := c.Controller.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -130,28 +147,17 @@ func (c SyntheticConfig) gap(rng *rand.Rand, now float64) float64 {
 	}
 }
 
-// Synthetic generates the workload deterministically from c.Seed.
+// Synthetic generates the workload deterministically from c.Seed: the
+// first N arrivals of the open-ended stream with the same configuration
+// (see SyntheticConfig.NewStream), so finite traces and streams with one
+// seed agree arrival for arrival.
 func Synthetic(c SyntheticConfig) (*Trace, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(c.Seed))
-	name := "synthetic"
-	if c.Arrivals != Poisson {
-		name = "synthetic-" + c.Arrivals.String()
+	s, err := c.NewStream()
+	if err != nil {
+		return nil, err
 	}
-	tr := &Trace{Name: name, VMs: make([]VM, 0, c.N)}
-	var now float64
-	for i := 0; i < c.N; i++ {
-		now += c.gap(rng, now)
-		cpu := c.CPUMin + units.Amount(rng.Int63n(int64(c.CPUMax-c.CPUMin)+1))
-		ram := c.RAMMin + units.Amount(rng.Int63n(int64(c.RAMMax-c.RAMMin)+1))
-		tr.VMs = append(tr.VMs, VM{
-			ID:       i,
-			Arrival:  int64(math.Round(now)),
-			Lifetime: c.LifetimeBase + c.LifetimeStep*int64(i/c.SetSize),
-			Req:      units.Vec(cpu, ram, c.StorageGB),
-		})
-	}
-	return tr, nil
+	return Take(s, c.N), nil
 }

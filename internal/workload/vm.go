@@ -6,6 +6,13 @@
 // Azure-like generator reproduces the paper's own Figure 6 per-subset
 // CPU/RAM histograms exactly (the marginals are sampled without
 // replacement, so the generated counts match the figure to the VM).
+//
+// Both families also exist in open-ended form: Stream is a pull-based
+// arrival iterator, with the finite Trace adapted by NewTraceStream and
+// unbounded generators (SyntheticConfig.NewStream, NewAzureEmpirical)
+// optionally rate-steered toward a target cluster occupancy by a
+// UtilizationController — the engine behind the steady-state churn
+// experiments (DESIGN.md §8).
 package workload
 
 import (

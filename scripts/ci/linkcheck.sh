@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# linkcheck.sh — verify that every relative markdown link in the
+# repository's documentation points at a file or directory that exists.
+#
+# Usage (from the repository root):
+#
+#   scripts/ci/linkcheck.sh [file.md ...]
+#
+# With no arguments it checks the standing doc set. External links
+# (http/https/mailto) are not fetched — CI must not depend on third-party
+# uptime — and pure-anchor links (#section) are skipped; a relative
+# link's own anchor suffix is ignored.
+set -euo pipefail
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(README.md DESIGN.md EXPERIMENTS.md PAPERS.md CHANGES.md ROADMAP.md)
+fi
+
+fail=0
+for md in "${files[@]}"; do
+  if [ ! -f "$md" ]; then
+    echo "linkcheck: $md: no such file"
+    fail=1
+    continue
+  fi
+  dir=$(dirname "$md")
+  # Inline links: [text](target). Reference-style links are not used in
+  # this repo; add them here if that changes.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"        # strip an anchor suffix
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "linkcheck: $md: broken link -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ $fail -ne 0 ]; then
+  echo "linkcheck: FAILED"
+  exit 1
+fi
+echo "linkcheck: OK (${files[*]})"
