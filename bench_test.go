@@ -52,6 +52,7 @@ func BenchmarkScheduleOne(b *testing.B) {
 			}
 			vm := workload.VM{ID: 10_000, Lifetime: 1, Req: units.Vec(8, 16, 128)}
 			b.ResetTimer()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				a, err := sch.Schedule(vm)
 				if err != nil {
@@ -60,6 +61,56 @@ func BenchmarkScheduleOne(b *testing.B) {
 				b.StopTimer()
 				sch.Release(a)
 				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleOneAllocs asserts the zero-allocation contract of the
+// steady-state decision path: after the pools and scratch buffers have
+// warmed up, one Schedule+Release round trip performs zero heap
+// allocations under every algorithm. Unlike a plain -benchmem report it
+// FAILS when the contract breaks (testing.AllocsPerRun), which makes it
+// the enforcement point behind scripts/ci/allocguard.sh: any change that
+// re-introduces a per-decision allocation turns CI red instead of quietly
+// regressing the churn throughput.
+func BenchmarkScheduleOneAllocs(b *testing.B) {
+	for _, alg := range experiments.Algorithms {
+		b.Run(alg, func(b *testing.B) {
+			st, err := experiments.DefaultSetup().NewState()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sch, err := experiments.NewScheduler(alg, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 500; i++ {
+				vm := workload.VM{ID: i, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+				if _, err := sch.Schedule(vm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			vm := workload.VM{ID: 10_000, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+			round := func() {
+				a, err := sch.Schedule(vm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sch.Release(a)
+			}
+			// Warm the assignment/flow pools and the scratch high-water
+			// marks; steady state starts after the first few decisions.
+			for i := 0; i < 64; i++ {
+				round()
+			}
+			if avg := testing.AllocsPerRun(200, round); avg != 0 {
+				b.Fatalf("%s: %.2f allocs/op at steady state, want 0", alg, avg)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				round()
 			}
 		})
 	}
@@ -96,6 +147,7 @@ func BenchmarkScheduleOneScale(b *testing.B) {
 					}
 					vm := workload.VM{ID: 10_000_000, Lifetime: 1, Req: units.Vec(8, 16, 128)}
 					b.ResetTimer()
+					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						a, err := sch.Schedule(vm)
 						if err != nil {
@@ -122,6 +174,7 @@ func BenchmarkSynthetic(b *testing.B) {
 	}
 	for _, alg := range experiments.Algorithms {
 		b.Run(alg, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := setup.RunOne(alg, tr)
 				if err != nil {
@@ -148,6 +201,7 @@ func BenchmarkAzure(b *testing.B) {
 		b.Run(subset.String(), func(b *testing.B) {
 			for _, alg := range experiments.Algorithms {
 				b.Run(alg, func(b *testing.B) {
+					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						res, err := setup.RunOne(alg, tr)
 						if err != nil {
@@ -166,6 +220,7 @@ func BenchmarkAzure(b *testing.B) {
 
 // BenchmarkAzureTraceGeneration measures the Figure 6 workload generator.
 func BenchmarkAzureTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := workload.AzureLike(workload.AzureConfig{
 			Subset: workload.Azure7500, Seed: int64(i),
@@ -177,6 +232,7 @@ func BenchmarkAzureTraceGeneration(b *testing.B) {
 
 // BenchmarkToyExample1 replays Table 3's scenario (NULB + RISA).
 func BenchmarkToyExample1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunToy1(); err != nil {
 			b.Fatal(err)
@@ -186,6 +242,7 @@ func BenchmarkToyExample1(b *testing.B) {
 
 // BenchmarkToyExample2 replays Table 4's packing trace (RISA + RISA-BF).
 func BenchmarkToyExample2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunToy2(); err != nil {
 			b.Fatal(err)
@@ -197,6 +254,7 @@ func BenchmarkToyExample2(b *testing.B) {
 func BenchmarkEquation1(b *testing.B) {
 	cfg := optics.DefaultConfig()
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := cfg.SwitchEnergy(256, 10*time.Second); err != nil {
 			b.Fatal(err)
@@ -225,6 +283,7 @@ func BenchmarkFlowPower(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = model.FlowPower(fl)
 	}
@@ -234,6 +293,7 @@ func BenchmarkFlowPower(b *testing.B) {
 // (DESIGN.md §6) — one synthetic run per policy per iteration.
 func BenchmarkAblationPacking(b *testing.B) {
 	setup := experiments.DefaultSetup()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := setup.RunPackingAblation(); err != nil {
 			b.Fatal(err)
@@ -244,6 +304,7 @@ func BenchmarkAblationPacking(b *testing.B) {
 // BenchmarkAblationRoundRobin measures the round-robin ablation.
 func BenchmarkAblationRoundRobin(b *testing.B) {
 	setup := experiments.DefaultSetup()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := setup.RunRoundRobinAblation(900); err != nil {
 			b.Fatal(err)
@@ -272,6 +333,7 @@ func BenchmarkIntraRackPool(b *testing.B) {
 	}
 	req := units.Vec(8, 16, 128)
 	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
 		pool := 0
 		for i := 0; i < b.N; i++ {
 			for _, rack := range st.Cluster.Racks() {
@@ -287,6 +349,7 @@ func BenchmarkIntraRackPool(b *testing.B) {
 	// The pre-index pool build, for comparison: every probe rescans the
 	// rack's boxes per resource.
 	b.Run("bruteforce", func(b *testing.B) {
+		b.ReportAllocs()
 		pool := 0
 		for i := 0; i < b.N; i++ {
 		racks:
@@ -339,6 +402,7 @@ func BenchmarkExperimentGrid(b *testing.B) {
 	}
 	for _, workers := range widths {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			eng := experiments.Engine{Workers: workers}
 			for i := 0; i < b.N; i++ {
 				if err := experiments.FirstError(eng.Run(jobs)); err != nil {
@@ -364,6 +428,7 @@ func BenchmarkAllocateVM(b *testing.B) {
 	}
 	vm := workload.VM{ID: 0, Lifetime: 1, Req: units.Vec(8, 16, 128)}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a, err := st.AllocateVM(vm, boxes, network.FirstFit)
 		if err != nil {
@@ -385,6 +450,7 @@ func BenchmarkChurnSteadyState(b *testing.B) {
 	cfg := sim.StreamConfig{MaxArrivals: 20000, Warmup: 12600, Window: 6300}
 	rung := experiments.ChurnRung{Label: "75%", Target: 0.75}
 	var perSec float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := setup.RunChurnCell("RISA", rung, cfg)
 		if err != nil {

@@ -15,6 +15,8 @@
 //	risasim -exp churn               # steady-state ladder, 100k arrivals/rung
 //	risasim -exp churn -target-util 0.8   # one rung at 80% occupancy
 //	risasim -exp churn -duration 50000    # time-capped rungs (smoke)
+//	risasim -exp churn -cpuprofile cpu.pprof   # profile the hot path
+//	risasim -exp all -memprofile mem.pprof     # heap profile on clean exit
 //
 // The experiment ↔ paper mapping lives in DESIGN.md §5; measured-vs-paper
 // numbers are recorded in EXPERIMENTS.md.
@@ -25,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"risa/internal/experiments"
 	"risa/internal/report"
@@ -43,6 +47,8 @@ type options struct {
 	jsonPath   string
 	duration   int64
 	targetUtil float64
+	cpuprofile string
+	memprofile string
 }
 
 // parseArgs parses and validates the command line.
@@ -57,6 +63,8 @@ func parseArgs(args []string) (options, error) {
 	fs.StringVar(&o.jsonPath, "json", "", "also archive every run as a JSON report at this path")
 	fs.Int64Var(&o.duration, "duration", 0, "for -exp churn: cap each rung's simulated time in time units (0 = arrival budget only)")
 	fs.Float64Var(&o.targetUtil, "target-util", 0, "for -exp churn: run one rung at this binding-resource occupancy fraction instead of the ladder (>= 1 sustains overload, 0 = full ladder)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file on clean exit")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -118,6 +126,62 @@ func buildSetup(o options) experiments.Setup {
 	return setup
 }
 
+// profiles holds the open pprof outputs of one invocation; the zero value
+// means profiling is off.
+type profiles struct {
+	cpu, mem *os.File
+}
+
+// startProfiles validates the -cpuprofile/-memprofile paths by creating
+// the files up front — a bad path must fail before the experiments run,
+// not after — and starts the CPU profile.
+func startProfiles(o options) (*profiles, error) {
+	p := &profiles{}
+	var err error
+	if o.cpuprofile != "" {
+		if p.cpu, err = os.Create(o.cpuprofile); err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(p.cpu); err != nil {
+			p.cpu.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	if o.memprofile != "" {
+		if p.mem, err = os.Create(o.memprofile); err != nil {
+			if p.cpu != nil {
+				pprof.StopCPUProfile()
+				p.cpu.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// stop finishes the CPU profile and writes the heap profile; it runs only
+// on clean exits so a failed experiment never leaves a truncated profile
+// masquerading as a complete one.
+func (p *profiles) stop() error {
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	if p.mem != nil {
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(p.mem); err != nil {
+			p.mem.Close()
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		if err := p.mem.Close(); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return nil
+}
+
 func main() {
 	opts, err := parseArgs(os.Args[1:])
 	if err != nil {
@@ -130,10 +194,19 @@ func main() {
 	experiments.SetParallelism(opts.parallel)
 	setup := buildSetup(opts)
 
+	prof, err := startProfiles(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
+		os.Exit(2)
+	}
 	if opts.jsonPath != "" {
 		archive = report.NewDocument(opts.seed)
 	}
 	if err := run(setup, opts.exp, scaleMaxRacks(opts), churnConfig(opts)); err != nil {
+		fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := prof.stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
 		os.Exit(1)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"os"
 	"testing"
 
 	"risa/internal/experiments"
@@ -177,6 +178,73 @@ func TestParseArgsChurnFlags(t *testing.T) {
 		if _, err := parseArgs(args); err == nil {
 			t.Errorf("parseArgs(%v) should fail", args)
 		}
+	}
+}
+
+func TestParseArgsProfileFlags(t *testing.T) {
+	o, err := parseArgs([]string{"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cpuprofile != "cpu.pprof" || o.memprofile != "mem.pprof" {
+		t.Errorf("profile flags not plumbed: %+v", o)
+	}
+	if o, err := parseArgs(nil); err != nil || o.cpuprofile != "" || o.memprofile != "" {
+		t.Errorf("profile flags must default to off: %+v (%v)", o, err)
+	}
+}
+
+func TestProfilesLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pprof"
+	mem := dir + "/mem.pprof"
+	p, err := startProfiles(options{cpuprofile: cpu, memprofile: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", path)
+		}
+	}
+}
+
+func TestProfilesOffIsNoop(t *testing.T) {
+	p, err := startProfiles(options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartProfilesRejectsBadPaths(t *testing.T) {
+	missing := t.TempDir() + "/no/such/dir/out.pprof"
+	if _, err := startProfiles(options{cpuprofile: missing}); err == nil {
+		t.Error("bad -cpuprofile path must fail up front")
+	}
+	if _, err := startProfiles(options{memprofile: missing}); err == nil {
+		t.Error("bad -memprofile path must fail up front")
+	}
+	// A bad mem path must not leave a CPU profile running.
+	good := t.TempDir() + "/cpu.pprof"
+	if _, err := startProfiles(options{cpuprofile: good, memprofile: missing}); err == nil {
+		t.Error("bad -memprofile path must fail even with a valid -cpuprofile")
+	}
+	p, err := startProfiles(options{cpuprofile: good})
+	if err != nil {
+		t.Fatalf("CPU profiling left running by the failed start: %v", err)
+	}
+	if err := p.stop(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -16,7 +16,6 @@ package baseline
 
 import (
 	"fmt"
-	"sort"
 
 	"risa/internal/network"
 	"risa/internal/sched"
@@ -34,6 +33,12 @@ type Masks [units.NumResources]sched.RackMask
 type zervas struct {
 	st   *sched.State
 	nalb bool // true → NALB: bandwidth-ordered BFS + max-avail links
+
+	// scratch holds the reusable BFS-level buffers (candidate boxes and,
+	// for NALB, their uplink-bandwidth sort keys); before it existed every
+	// bfsFind grew a fresh level slice and NALB's sort recomputed
+	// BoxUplinkFree once per comparison instead of once per box.
+	scratch sched.Scratch
 }
 
 // NewNULB returns the network-unaware locality-based scheduler bound to st.
@@ -144,30 +149,69 @@ func (z *zervas) bfsFind(homeRack int, r units.Resource, need units.Amount, mask
 	// Second BFS level: all remaining racks, pruned through the
 	// cluster-level candidate index so only racks with a large-enough box
 	// contribute their boxes. Dropping boxes that could never be picked
-	// does not change pickFromLevel's choice (NULB takes the first fitting
-	// box, NALB stable-sorts before the same test).
-	var level []*topology.Box
+	// does not change the choice (NULB takes the first fitting box, NALB
+	// stable-sorts before the same test).
+	if !z.nalb {
+		// NULB scans the level in construction order, so it never needs
+		// the level materialized at all: the first fitting box in
+		// ascending (rack, box) order wins.
+		for ri := cl.NextRackWith(r, need, 0); ri >= 0; ri = cl.NextRackWith(r, need, ri+1) {
+			if ri == homeRack || !mask.Allows(ri) {
+				continue
+			}
+			for _, b := range cl.Rack(ri).BoxesOf(r) {
+				if b.Free() >= need {
+					return b
+				}
+			}
+		}
+		return nil
+	}
+	level, keys := z.scratch.Boxes(), z.scratch.Keys()
+	fab := z.st.Fabric
 	for ri := cl.NextRackWith(r, need, 0); ri >= 0; ri = cl.NextRackWith(r, need, ri+1) {
 		if ri == homeRack || !mask.Allows(ri) {
 			continue
 		}
-		level = append(level, cl.Rack(ri).BoxesOf(r)...)
+		for _, b := range cl.Rack(ri).BoxesOf(r) {
+			level = append(level, b)
+			keys = append(keys, fab.BoxUplinkFree(b))
+		}
 	}
-	return z.pickFromLevel(level, need)
+	z.scratch.SetBoxes(level)
+	z.scratch.SetKeys(keys)
+	return z.pickSorted(level, keys, need)
 }
 
 // pickFromLevel returns the first fitting box of one BFS level, after the
-// NALB bandwidth reordering when enabled.
+// NALB bandwidth reordering when enabled. The level slice is never
+// mutated: NALB copies it into the scratch buffers first.
 func (z *zervas) pickFromLevel(level []*topology.Box, need units.Amount) *topology.Box {
 	if z.nalb && len(level) > 1 {
-		ordered := make([]*topology.Box, len(level))
-		copy(ordered, level)
+		ordered, keys := z.scratch.Boxes(), z.scratch.Keys()
 		fab := z.st.Fabric
-		sort.SliceStable(ordered, func(i, j int) bool {
-			return fab.BoxUplinkFree(ordered[i]) > fab.BoxUplinkFree(ordered[j])
-		})
-		level = ordered
+		for _, b := range level {
+			ordered = append(ordered, b)
+			keys = append(keys, fab.BoxUplinkFree(b))
+		}
+		z.scratch.SetBoxes(ordered)
+		z.scratch.SetKeys(keys)
+		return z.pickSorted(ordered, keys, need)
 	}
+	for _, b := range level {
+		if b.Free() >= need {
+			return b
+		}
+	}
+	return nil
+}
+
+// pickSorted stable-sorts the scratch level by descending precomputed
+// uplink bandwidth — the same order NALB's per-comparison probes produced,
+// at one fabric probe per box instead of per comparison — and returns its
+// first fitting box.
+func (z *zervas) pickSorted(level []*topology.Box, keys []units.Bandwidth, need units.Amount) *topology.Box {
+	z.scratch.SortBoxesByKeyDesc(level, keys)
 	for _, b := range level {
 		if b.Free() >= need {
 			return b

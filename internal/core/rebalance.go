@@ -48,10 +48,13 @@ func (r *RISA) migrate(a *sched.Assignment) bool {
 	}
 	vm := a.VM
 
-	// Release, try intra-rack, restore on failure.
-	r.st.ReleaseVM(a)
+	// Release, try intra-rack, restore on failure. The caller keeps
+	// holding a, so the release must not recycle it into the assignment
+	// pool (ReleaseVMKeep); the re-placement comes back as a fresh pooled
+	// record whose contents Adopt moves into a.
+	r.st.ReleaseVMKeep(a)
 	if moved, _ := r.scheduleIntra(vm); moved != nil {
-		*a = *moved
+		r.st.Adopt(a, moved)
 		return true
 	}
 	restored, err := r.st.AllocateVM(vm, oldBoxes, network.FirstFit)
@@ -60,6 +63,6 @@ func (r *RISA) migrate(a *sched.Assignment) bool {
 		// rather than lose a VM silently.
 		panic("core: rebalance failed to restore a released placement: " + err.Error())
 	}
-	*a = *restored
+	r.st.Adopt(a, restored)
 	return false
 }

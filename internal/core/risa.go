@@ -41,13 +41,19 @@ type RISA struct {
 	cursor   int // round-robin rack cursor: next rack index to prefer
 	stats    Stats
 
-	// boxCursor holds RISA's per-rack, per-resource next-fit position.
-	// The paper calls its intra-rack packing "first-fit, box 0 first,
-	// then box 1", but Table 4 shows the selection never returns to an
-	// earlier box while the current one still fits (VM 4 with 5 cores
-	// goes to box 1 although box 0 has 9 free) — i.e. next-fit. We
-	// reproduce Table 4 exactly; see DESIGN.md §4.
-	boxCursor map[int]*[units.NumResources]int
+	// scratch owns RISA's reusable decision buffers: the SUPER_RACK masks
+	// (one preallocated RackMask per resource, cleared per decision) and
+	// the per-rack, per-resource next-fit box cursors, stored densely by
+	// rack index instead of the map[int]*[...]int the pre-scratch code
+	// hashed through on every placement.
+	//
+	// On the cursors themselves: the paper calls its intra-rack packing
+	// "first-fit, box 0 first, then box 1", but Table 4 shows the
+	// selection never returns to an earlier box while the current one
+	// still fits (VM 4 with 5 cores goes to box 1 although box 0 has 9
+	// free) — i.e. next-fit. We reproduce Table 4 exactly; see
+	// DESIGN.md §4.
+	scratch sched.Scratch
 }
 
 // New returns RISA bound to the given datacenter state.
@@ -61,10 +67,9 @@ func NewBF(st *sched.State) *RISA {
 // NewWithOptions returns an ablated RISA variant; see Options.
 func NewWithOptions(st *sched.State, opts Options) *RISA {
 	return &RISA{
-		st:        st,
-		fallback:  baseline.NewNULBMasked(st),
-		opts:      opts,
-		boxCursor: make(map[int]*[units.NumResources]int),
+		st:       st,
+		fallback: baseline.NewNULBMasked(st),
+		opts:     opts,
 	}
 }
 
@@ -148,7 +153,7 @@ func (r *RISA) scheduleIntra(vm workload.VM) (a *sched.Assignment, poolSeen bool
 			r.cursor = (rackIdx + 1) % cl.NumRacks()
 		}
 		if r.opts.Packing == NextFit {
-			cur := r.cursors(rackIdx)
+			cur := r.scratch.Cursors(rackIdx)
 			for _, res := range units.Resources() {
 				if boxes[res] != nil {
 					cur[res] = boxes[res].KindIndex()
@@ -173,17 +178,6 @@ func (r *RISA) scheduleIntra(vm workload.VM) (a *sched.Assignment, poolSeen bool
 	return nil, poolSeen
 }
 
-// cursors returns the rack's next-fit positions, creating them on first
-// use.
-func (r *RISA) cursors(rackIdx int) *[units.NumResources]int {
-	cur, ok := r.boxCursor[rackIdx]
-	if !ok {
-		cur = new([units.NumResources]int)
-		r.boxCursor[rackIdx] = cur
-	}
-	return cur
-}
-
 // chooseBoxes picks one box per requested resource inside the rack
 // according to the packing policy. RISA packs next-fit: scanning starts at
 // the rack's cursor box and wraps, staying on the current box while it
@@ -192,7 +186,7 @@ func (r *RISA) cursors(rackIdx int) *[units.NumResources]int {
 // (best-fit). First-fit and worst-fit exist for the packing ablation.
 func (r *RISA) chooseBoxes(rack *topology.Rack, req units.Vector) (sched.BoxTriple, bool) {
 	var boxes sched.BoxTriple
-	cur := r.cursors(rack.Index())
+	cur := r.scratch.Cursors(rack.Index())
 	for _, res := range units.Resources() {
 		if req[res] == 0 {
 			continue
@@ -254,8 +248,10 @@ func (r *RISA) scheduleSuperRack(vm workload.VM) (*sched.Assignment, error) {
 		}
 		// Enumerate only the qualifying racks through the cluster-level
 		// candidate index; the resulting mask is identical to testing
-		// MaxFree on every rack.
-		mask := make(sched.RackMask, cl.NumRacks())
+		// MaxFree on every rack. The mask buffers come from the scratch —
+		// one preallocated RackMask per resource, cleared here — and are
+		// valid only for the fallback call below.
+		mask := r.scratch.Mask(res, cl.NumRacks())
 		any := false
 		for i := cl.NextRackWith(res, vm.Req[res], 0); i >= 0; i = cl.NextRackWith(res, vm.Req[res], i+1) {
 			mask[i] = true

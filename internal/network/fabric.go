@@ -20,11 +20,41 @@
 package network
 
 import (
+	"errors"
 	"fmt"
 
 	"risa/internal/topology"
 	"risa/internal/units"
 )
+
+// Per-tier admission errors. AllocateFlow fails on the scheduling hot path
+// whenever a probe hits bandwidth fragmentation, so the errors are
+// preallocated sentinels (match with errors.Is) instead of per-failure
+// fmt.Errorf values — an allocation per failed probe would defeat the
+// allocation-free decision path.
+var (
+	// ErrNoBoxUplink reports that no box uplink on the path had enough
+	// free bandwidth.
+	ErrNoBoxUplink = errors.New("network: no box-uplink with enough free bandwidth")
+	// ErrNoRackUplink reports that no rack uplink on the path had enough
+	// free bandwidth.
+	ErrNoRackUplink = errors.New("network: no rack-uplink with enough free bandwidth")
+	// ErrNoPodUplink reports that no pod uplink on the path had enough
+	// free bandwidth (three-tier fabric only).
+	ErrNoPodUplink = errors.New("network: no pod-uplink with enough free bandwidth")
+)
+
+// tierError returns the sentinel admission error for a tier.
+func tierError(t Tier) error {
+	switch t {
+	case BoxUplink:
+		return ErrNoBoxUplink
+	case RackUplink:
+		return ErrNoRackUplink
+	default:
+		return ErrNoPodUplink
+	}
+}
 
 // Tier identifies the layer an optical link belongs to.
 type Tier int
@@ -181,6 +211,11 @@ type Fabric struct {
 	interCap, interFree units.Bandwidth   // aggregate over all rack uplinks
 	podCap, podFree     units.Bandwidth   // aggregate over all pod uplinks
 	rackIntraFree       []units.Bandwidth // per-rack free over its box uplinks
+
+	// freeFlows recycles released Flow records (and their link slices)
+	// into later AllocateFlow calls, so steady-state flow churn does not
+	// allocate. Fabrics, like schedulers, are single-goroutine.
+	freeFlows []*Flow
 }
 
 // Pod returns the pod index of a rack (0 in the two-tier fabric).
@@ -345,12 +380,15 @@ func pick(group []*Link, bw units.Bandwidth, policy Policy) *Link {
 
 // Flow is a reserved optical circuit between two boxes. Hop and switch
 // counts feed the power model; Links holds the shared links carrying the
-// reservation so it can be released.
+// reservation so it can be released. Flows are pooled by their Fabric:
+// ReleaseFlow recycles the record, so a flow must not be read after its
+// release.
 type Flow struct {
 	bw        units.Bandwidth
 	links     []*Link
 	interRack bool
 	interPod  bool
+	pooled    bool // on the fabric's free list; guards double release
 }
 
 // BW returns the flow's reserved bandwidth.
@@ -419,32 +457,40 @@ func (f *Fabric) AllocateFlow(src, dst *topology.Box, bw units.Bandwidth, policy
 	if bw < 0 {
 		return nil, fmt.Errorf("network: negative bandwidth %v", bw)
 	}
-	fl := &Flow{
-		bw:        bw,
-		interRack: src.Rack() != dst.Rack(),
-		interPod:  f.cfg.ThreeTier() && f.Pod(src.Rack()) != f.Pod(dst.Rack()),
-	}
+	fl := f.getFlow()
+	fl.bw = bw
+	fl.interRack = src.Rack() != dst.Rack()
+	fl.interPod = f.cfg.ThreeTier() && f.Pod(src.Rack()) != f.Pod(dst.Rack())
 	if bw == 0 {
 		return fl, nil
 	}
-	var hops [][]*Link
-	hops = append(hops, f.boxUplinks[src.Rack()][src.Index()])
+	// The hop sequence lives in a fixed-size array — at most six shared
+	// groups (box, rack, pod, pod, rack, box) — so building it is
+	// allocation-free.
+	var hops [6][]*Link
+	n := 0
+	hops[n] = f.boxUplinks[src.Rack()][src.Index()]
+	n++
 	if fl.interRack {
-		hops = append(hops, f.rackUplinks[src.Rack()])
+		hops[n] = f.rackUplinks[src.Rack()]
+		n++
 		if fl.interPod {
-			hops = append(hops,
-				f.podUplinks[f.Pod(src.Rack())],
-				f.podUplinks[f.Pod(dst.Rack())])
+			hops[n] = f.podUplinks[f.Pod(src.Rack())]
+			n++
+			hops[n] = f.podUplinks[f.Pod(dst.Rack())]
+			n++
 		}
-		hops = append(hops, f.rackUplinks[dst.Rack()])
+		hops[n] = f.rackUplinks[dst.Rack()]
+		n++
 	}
-	hops = append(hops, f.boxUplinks[dst.Rack()][dst.Index()])
-	for _, group := range hops {
+	hops[n] = f.boxUplinks[dst.Rack()][dst.Index()]
+	n++
+	for _, group := range hops[:n] {
 		l := pick(group, bw, policy)
 		if l == nil {
+			tier := group[0].tier
 			f.ReleaseFlow(fl)
-			return nil, fmt.Errorf("network: no %v with %v free between %v and %v",
-				group[0].tier, bw, src, dst)
+			return nil, tierError(tier)
 		}
 		f.take(l, bw)
 		fl.links = append(fl.links, l)
@@ -452,17 +498,39 @@ func (f *Fabric) AllocateFlow(src, dst *topology.Box, bw units.Bandwidth, policy
 	return fl, nil
 }
 
-// ReleaseFlow returns a flow's reserved bandwidth. Safe on nil and on
-// partially built flows (used internally for rollback). Releasing the same
-// fully built flow twice panics via the link capacity guard.
+// getFlow pops a recycled flow record (with its link-slice capacity) off
+// the free list, or allocates a fresh one while the pool warms up.
+func (f *Fabric) getFlow() *Flow {
+	n := len(f.freeFlows)
+	if n == 0 {
+		return &Flow{}
+	}
+	fl := f.freeFlows[n-1]
+	f.freeFlows[n-1] = nil
+	f.freeFlows = f.freeFlows[:n-1]
+	fl.pooled = false
+	return fl
+}
+
+// ReleaseFlow returns a flow's reserved bandwidth and recycles the record
+// into the fabric's pool. Safe on nil and on partially built flows (used
+// internally for rollback); releasing the same flow twice is a guarded
+// no-op. The flow must not be used after this call.
 func (f *Fabric) ReleaseFlow(fl *Flow) {
-	if fl == nil {
+	if fl == nil || fl.pooled {
 		return
 	}
 	for _, l := range fl.links {
 		f.put(l, fl.bw)
 	}
-	fl.links = nil
+	for i := range fl.links {
+		fl.links[i] = nil
+	}
+	fl.links = fl.links[:0]
+	fl.bw = 0
+	fl.interRack, fl.interPod = false, false
+	fl.pooled = true
+	f.freeFlows = append(f.freeFlows, fl)
 }
 
 func (f *Fabric) take(l *Link, bw units.Bandwidth) {

@@ -25,10 +25,18 @@ const (
 	InterRackCPURAMLatency = 330 * time.Nanosecond
 )
 
-// State bundles the mutable planes every scheduler operates on.
+// State bundles the mutable planes every scheduler operates on, plus the
+// assignment pool: released placement records are recycled into later
+// Schedule calls so the steady-state path allocates nothing (the optical
+// flows are pooled symmetrically inside the Fabric). The pool is part of
+// the memory discipline documented in DESIGN.md §9: an Assignment belongs
+// to its VM from AllocateVM until ReleaseVM, and must not be touched after
+// release — ReleaseVM recycles it.
 type State struct {
 	Cluster *topology.Cluster
 	Fabric  *network.Fabric
+
+	freeAssignments []*Assignment
 }
 
 // NewState builds a fresh datacenter from the two configurations.
@@ -48,7 +56,9 @@ func NewState(tcfg topology.Config, ncfg network.Config) (*State, error) {
 func (s *State) Units() units.Config { return s.Cluster.Config().Units }
 
 // Assignment records everything a scheduled VM holds so it can be
-// inspected (inter-rack? latency?) and released.
+// inspected (inter-rack? latency?) and released. Assignments are pooled:
+// AllocateVM takes them from the owning State's free list and ReleaseVM
+// returns them, so an assignment must not be read after its release.
 type Assignment struct {
 	VM workload.VM
 
@@ -58,6 +68,10 @@ type Assignment struct {
 
 	// Optical circuits; nil when either endpoint requests nothing.
 	CPURAMFlow, RAMSTOFlow *network.Flow
+
+	// pooled marks an assignment sitting on the State's free list, making
+	// a double ReleaseVM a no-op instead of a double pool insertion.
+	pooled bool
 }
 
 // InterRack reports whether the assignment spans racks at all, i.e. the
@@ -140,73 +154,146 @@ type BoxTriple [units.NumResources]*topology.Box
 // with no extra bookkeeping on their part — including mid-transaction
 // rollbacks.
 func (s *State) AllocateVM(vm workload.VM, boxes BoxTriple, policy network.Policy) (*Assignment, error) {
-	a := &Assignment{VM: vm}
+	a := s.getAssignment(vm)
 	cfg := s.Units()
-	rollback := func() {
+	fail := func(err error) (*Assignment, error) {
 		s.Fabric.ReleaseFlow(a.RAMSTOFlow)
 		s.Fabric.ReleaseFlow(a.CPURAMFlow)
 		s.Cluster.Release(a.STO)
 		s.Cluster.Release(a.RAM)
 		s.Cluster.Release(a.CPU)
+		s.putAssignment(a)
+		return nil, err
 	}
-	place := func(r units.Resource, dst *topology.Placement) error {
-		if vm.Req[r] == 0 {
-			return nil
-		}
-		if boxes[r] == nil {
-			return fmt.Errorf("sched: VM %d requests %v but no box chosen", vm.ID, r)
-		}
-		if boxes[r].Kind() != r {
-			return fmt.Errorf("sched: VM %d: box %v chosen for %v", vm.ID, boxes[r], r)
-		}
-		p, err := s.Cluster.Allocate(boxes[r], vm.Req[r])
-		if err != nil {
-			return err
-		}
-		*dst = p
-		return nil
+	if err := s.place(vm, boxes, units.CPU, &a.CPU); err != nil {
+		return fail(err)
 	}
-	for _, step := range []struct {
-		r   units.Resource
-		dst *topology.Placement
-	}{{units.CPU, &a.CPU}, {units.RAM, &a.RAM}, {units.Storage, &a.STO}} {
-		if err := place(step.r, step.dst); err != nil {
-			rollback()
-			return nil, err
-		}
+	if err := s.place(vm, boxes, units.RAM, &a.RAM); err != nil {
+		return fail(err)
+	}
+	if err := s.place(vm, boxes, units.Storage, &a.STO); err != nil {
+		return fail(err)
 	}
 	if !a.CPU.IsZero() && !a.RAM.IsZero() {
 		fl, err := s.Fabric.AllocateFlow(a.CPU.Box, a.RAM.Box, cfg.CPURAMDemand(vm.Req), policy)
 		if err != nil {
-			rollback()
-			return nil, err
+			return fail(err)
 		}
 		a.CPURAMFlow = fl
 	}
 	if !a.RAM.IsZero() && !a.STO.IsZero() {
 		fl, err := s.Fabric.AllocateFlow(a.RAM.Box, a.STO.Box, cfg.RAMSTODemand(vm.Req), policy)
 		if err != nil {
-			rollback()
-			return nil, err
+			return fail(err)
 		}
 		a.RAMSTOFlow = fl
 	}
 	return a, nil
 }
 
-// ReleaseVM returns an assignment's resources; it is the shared Release
-// implementation.
+// place carves one resource component of vm out of its chosen box into
+// *dst, reusing dst's brick-share buffer.
+func (s *State) place(vm workload.VM, boxes BoxTriple, r units.Resource, dst *topology.Placement) error {
+	if vm.Req[r] == 0 {
+		return nil
+	}
+	if boxes[r] == nil {
+		return fmt.Errorf("sched: VM %d requests %v but no box chosen", vm.ID, r)
+	}
+	if boxes[r].Kind() != r {
+		return fmt.Errorf("sched: VM %d: box %v chosen for %v", vm.ID, boxes[r], r)
+	}
+	p, err := s.Cluster.AllocateInto(boxes[r], vm.Req[r], dst.Shares[:0])
+	if err != nil {
+		return err
+	}
+	*dst = p
+	return nil
+}
+
+// getAssignment pops a recycled assignment from the pool (or allocates the
+// pool's first few) and binds it to vm. The recycled record keeps its
+// brick-share buffers so re-placing through it allocates nothing.
+func (s *State) getAssignment(vm workload.VM) *Assignment {
+	n := len(s.freeAssignments)
+	if n == 0 {
+		return &Assignment{VM: vm}
+	}
+	a := s.freeAssignments[n-1]
+	s.freeAssignments[n-1] = nil
+	s.freeAssignments = s.freeAssignments[:n-1]
+	a.pooled = false
+	a.VM = vm
+	return a
+}
+
+// putAssignment clears a released assignment — keeping its share buffers —
+// and pushes it onto the pool.
+func (s *State) putAssignment(a *Assignment) {
+	a.VM = workload.VM{}
+	clearPlacement(&a.CPU)
+	clearPlacement(&a.RAM)
+	clearPlacement(&a.STO)
+	a.CPURAMFlow, a.RAMSTOFlow = nil, nil
+	a.pooled = true
+	s.freeAssignments = append(s.freeAssignments, a)
+}
+
+// clearPlacement empties a placement while keeping its share buffer's
+// capacity for reuse.
+func clearPlacement(p *topology.Placement) {
+	p.Box = nil
+	p.Total = 0
+	p.Shares = p.Shares[:0]
+}
+
+// ReleaseVM returns an assignment's resources and recycles the record into
+// the State's assignment pool; it is the shared Release implementation.
+// The assignment must not be used after this call (a second ReleaseVM of
+// the same record is a guarded no-op).
 func (s *State) ReleaseVM(a *Assignment) {
-	if a == nil {
+	if a == nil || a.pooled {
 		return
 	}
+	s.releaseResources(a)
+	s.putAssignment(a)
+}
+
+// ReleaseVMKeep returns an assignment's resources but leaves the record
+// with the caller instead of recycling it. core.Rebalance needs this: it
+// releases a live assignment, re-places the VM, and copies the new
+// placement back into the caller-visible record — which must therefore
+// stay out of the pool while it happens.
+func (s *State) ReleaseVMKeep(a *Assignment) {
+	if a == nil || a.pooled {
+		return
+	}
+	s.releaseResources(a)
+	a.CPURAMFlow, a.RAMSTOFlow = nil, nil
+	clearPlacement(&a.CPU)
+	clearPlacement(&a.RAM)
+	clearPlacement(&a.STO)
+}
+
+// releaseResources returns the compute and network holdings of a without
+// touching the record's pool state.
+func (s *State) releaseResources(a *Assignment) {
 	s.Fabric.ReleaseFlow(a.CPURAMFlow)
 	s.Fabric.ReleaseFlow(a.RAMSTOFlow)
-	a.CPURAMFlow, a.RAMSTOFlow = nil, nil
 	s.Cluster.Release(a.CPU)
 	s.Cluster.Release(a.RAM)
 	s.Cluster.Release(a.STO)
-	a.CPU, a.RAM, a.STO = topology.Placement{}, topology.Placement{}, topology.Placement{}
+}
+
+// Adopt moves src's contents into dst and retires src's emptied shell to
+// the pool. It is the hand-back half of the ReleaseVMKeep protocol: after
+// re-placing a VM, Rebalance adopts the fresh assignment into the record
+// its caller holds. src must not be used afterwards.
+func (s *State) Adopt(dst, src *Assignment) {
+	*dst = *src
+	// Detach src's buffers before pooling the shell: dst now owns them.
+	*src = Assignment{}
+	s.putAssignment(src)
 }
 
 // RackMask restricts a search to a subset of racks; nil allows every rack.

@@ -8,6 +8,7 @@
 package schedtest
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -28,6 +29,7 @@ func Conformance(t *testing.T, name string, mk Factory) {
 	t.Run(name+"/Deterministic", func(t *testing.T) { deterministic(t, mk) })
 	t.Run(name+"/ChurnConservation", func(t *testing.T) { churnConservation(t, mk) })
 	t.Run(name+"/RespectsBoxFailure", func(t *testing.T) { respectsBoxFailure(t, mk) })
+	t.Run(name+"/InterleavedHygiene", func(t *testing.T) { interleavedHygiene(t, mk) })
 }
 
 func newState(t *testing.T) *sched.State {
@@ -154,6 +156,78 @@ func churnConservation(t *testing.T, mk Factory) {
 		t.Fatal("full release did not restore the pristine state")
 	}
 	checkAll(t, st)
+}
+
+// interleavedHygiene: two scheduler instances driven decision-by-decision
+// in alternation on independent datacenters must behave exactly like two
+// isolated runs. This is the property test behind the scratch-buffer and
+// pool reuse discipline (DESIGN.md §9): every instance owns its Scratch
+// and every State its pools, so nothing an instance buffers between
+// decisions may leak into — or depend on — another instance's timing. A
+// leak (say, a shared mask buffer or a placement record recycled across
+// states) shows up as a placement diverging from the isolated reference.
+func interleavedHygiene(t *testing.T, mk Factory) {
+	type run struct {
+		s    sched.Scheduler
+		st   *sched.State
+		rng  *rand.Rand
+		live []*sched.Assignment
+		sig  []string
+	}
+	newRun := func(seed int64) *run {
+		st := newState(t)
+		return &run{s: mk(st), st: st, rng: rand.New(rand.NewSource(seed))}
+	}
+	// step performs one scripted decision: a release of a random live VM
+	// one time in three, a schedule otherwise, appending a signature of
+	// what happened. The script depends only on the run's own seed.
+	step := func(r *run, i int) {
+		if len(r.live) > 0 && r.rng.Intn(3) == 0 {
+			j := r.rng.Intn(len(r.live))
+			r.s.Release(r.live[j])
+			r.live = append(r.live[:j], r.live[j+1:]...)
+			r.sig = append(r.sig, "release")
+			return
+		}
+		vm := workload.VM{ID: i, Lifetime: 10, Req: units.Vec(
+			units.Amount(r.rng.Int63n(32)+1),
+			units.Amount(r.rng.Int63n(64)+1),
+			128)}
+		a, err := r.s.Schedule(vm)
+		if err != nil {
+			r.sig = append(r.sig, "drop")
+			return
+		}
+		r.live = append(r.live, a)
+		r.sig = append(r.sig, fmt.Sprint(a.CPU.Box, a.RAM.Box, a.STO.Box))
+	}
+	const steps = 400
+	// Isolated references: each script runs start to finish on its own.
+	ref1, ref2 := newRun(11), newRun(22)
+	for i := 0; i < steps; i++ {
+		step(ref1, i)
+	}
+	for i := 0; i < steps; i++ {
+		step(ref2, i)
+	}
+	// Interleaved: the same two scripts, alternating one decision at a
+	// time, so every decision of one instance runs against the other's
+	// freshly used buffers.
+	il1, il2 := newRun(11), newRun(22)
+	for i := 0; i < steps; i++ {
+		step(il1, i)
+		step(il2, i)
+	}
+	for i := 0; i < steps; i++ {
+		if il1.sig[i] != ref1.sig[i] {
+			t.Fatalf("run 1 step %d: interleaved %q != isolated %q", i, il1.sig[i], ref1.sig[i])
+		}
+		if il2.sig[i] != ref2.sig[i] {
+			t.Fatalf("run 2 step %d: interleaved %q != isolated %q", i, il2.sig[i], ref2.sig[i])
+		}
+	}
+	checkAll(t, il1.st)
+	checkAll(t, il2.st)
 }
 
 // respectsBoxFailure: no scheduler may place anything on a failed box.

@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"testing"
+
+	"risa/internal/network"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+func testState(t *testing.T) *State {
+	t.Helper()
+	st, err := NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func testTriple(st *State) BoxTriple {
+	rack := st.Cluster.Rack(0)
+	return BoxTriple{
+		units.CPU:     rack.BoxesOf(units.CPU)[0],
+		units.RAM:     rack.BoxesOf(units.RAM)[0],
+		units.Storage: rack.BoxesOf(units.Storage)[0],
+	}
+}
+
+func TestScratchMaskClearedAndSized(t *testing.T) {
+	var s Scratch
+	m := s.Mask(units.CPU, 4)
+	if len(m) != 4 {
+		t.Fatalf("mask len = %d, want 4", len(m))
+	}
+	m[1], m[3] = true, true
+	// Re-requesting must clear previous contents and keep independence
+	// between resources.
+	other := s.Mask(units.RAM, 4)
+	for i, v := range other {
+		if v {
+			t.Fatalf("RAM mask slot %d dirty", i)
+		}
+	}
+	if !m[1] || !m[3] {
+		t.Fatal("requesting another resource's mask disturbed the first")
+	}
+	m2 := s.Mask(units.CPU, 3)
+	for i, v := range m2 {
+		if v {
+			t.Fatalf("reused mask slot %d not cleared", i)
+		}
+	}
+}
+
+func TestScratchMaskReusesBacking(t *testing.T) {
+	var s Scratch
+	m := s.Mask(units.CPU, 64)
+	m2 := s.Mask(units.CPU, 32)
+	if &m[0] != &m2[0] {
+		t.Fatal("smaller mask request must reuse the grown backing array")
+	}
+	if avg := testing.AllocsPerRun(100, func() { s.Mask(units.CPU, 64) }); avg != 0 {
+		t.Fatalf("mask reuse allocates %.2f times per call, want 0", avg)
+	}
+}
+
+func TestScratchCursorsDenseAndPersistent(t *testing.T) {
+	var s Scratch
+	c5 := s.Cursors(5)
+	c5[units.RAM] = 7
+	if got := s.Cursors(5)[units.RAM]; got != 7 {
+		t.Fatalf("cursor not persistent: %d", got)
+	}
+	if got := s.Cursors(2)[units.RAM]; got != 0 {
+		t.Fatalf("untouched cursor = %d, want 0", got)
+	}
+	if avg := testing.AllocsPerRun(100, func() { s.Cursors(5) }); avg != 0 {
+		t.Fatalf("cursor lookup allocates %.2f times per call, want 0", avg)
+	}
+}
+
+func TestScratchSortBoxesByKeyDescStable(t *testing.T) {
+	st := testState(t)
+	var s Scratch
+	boxes := s.Boxes()
+	keys := s.Keys()
+	// Three boxes with keys 1, 3, 1: descending stable order is the
+	// 3-key box first, then the two 1-key boxes in input order.
+	all := st.Cluster.Rack(0).Boxes()
+	boxes = append(boxes, all[0], all[1], all[2])
+	keys = append(keys, 1, 3, 1)
+	s.SetBoxes(boxes)
+	s.SetKeys(keys)
+	s.SortBoxesByKeyDesc(boxes, keys)
+	if boxes[0] != all[1] || boxes[1] != all[0] || boxes[2] != all[2] {
+		t.Fatalf("sorted order wrong: %v %v %v", boxes[0], boxes[1], boxes[2])
+	}
+	if keys[0] != 3 || keys[1] != 1 || keys[2] != 1 {
+		t.Fatalf("keys not permuted with boxes: %v", keys)
+	}
+}
+
+// TestAssignmentPoolRecycles pins the pooling contract: a released
+// assignment record is handed back by the next AllocateVM, with its
+// brick-share buffers intact, and the steady-state round trip allocates
+// nothing.
+func TestAssignmentPoolRecycles(t *testing.T) {
+	st := testState(t)
+	vm := workload.VM{ID: 1, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+	a1, err := st.AllocateVM(vm, testTriple(st), network.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ReleaseVM(a1)
+	a2, err := st.AllocateVM(vm, testTriple(st), network.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a1 {
+		t.Fatal("second AllocateVM did not recycle the released record")
+	}
+	st.ReleaseVM(a2)
+	if avg := testing.AllocsPerRun(200, func() {
+		a, err := st.AllocateVM(vm, testTriple(st), network.FirstFit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.ReleaseVM(a)
+	}); avg != 0 {
+		t.Fatalf("steady-state AllocateVM+ReleaseVM allocates %.2f times, want 0", avg)
+	}
+}
+
+// TestAssignmentPoolFailedAllocateRecycles: a failed AllocateVM must roll
+// back fully and still return its record to the pool.
+func TestAssignmentPoolFailedAllocateRecycles(t *testing.T) {
+	st := testState(t)
+	free := st.Cluster.TotalFree(units.CPU)
+	boxes := testTriple(st)
+	// Request more CPU than one box holds: the placement fails.
+	vm := workload.VM{ID: 1, Lifetime: 1, Req: units.Vec(1<<40, 16, 128)}
+	if _, err := st.AllocateVM(vm, boxes, network.FirstFit); err == nil {
+		t.Fatal("oversized request must fail")
+	}
+	if got := st.Cluster.TotalFree(units.CPU); got != free {
+		t.Fatalf("failed allocate leaked CPU: %d != %d", got, free)
+	}
+	if len(st.freeAssignments) != 1 {
+		t.Fatalf("failed allocate left %d pooled records, want 1", len(st.freeAssignments))
+	}
+}
+
+// TestReleaseVMKeepAdoptProtocol covers the rebalance hand-off: a record
+// released with ReleaseVMKeep stays with the caller, and Adopt moves a
+// fresh assignment's contents into it while retiring the donor shell.
+func TestReleaseVMKeepAdoptProtocol(t *testing.T) {
+	st := testState(t)
+	vm := workload.VM{ID: 1, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+	a, err := st.AllocateVM(vm, testTriple(st), network.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ReleaseVMKeep(a)
+	if len(st.freeAssignments) != 0 {
+		t.Fatal("ReleaseVMKeep must not pool the record")
+	}
+	if !a.CPU.IsZero() || a.CPURAMFlow != nil {
+		t.Fatal("ReleaseVMKeep must clear the record's holdings")
+	}
+	fresh, err := st.AllocateVM(vm, testTriple(st), network.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Adopt(a, fresh)
+	if a.CPU.IsZero() || a.CPURAMFlow == nil {
+		t.Fatal("Adopt did not move the placement into the kept record")
+	}
+	if len(st.freeAssignments) != 1 {
+		t.Fatal("Adopt must retire the donor shell to the pool")
+	}
+	donor := st.freeAssignments[0]
+	if donor != fresh {
+		t.Fatal("pooled shell is not the donor")
+	}
+	// The donor must not alias the adopted record's share buffers: a
+	// later allocation through the pool would otherwise scribble over the
+	// live placement.
+	if donor.CPU.Shares != nil && len(a.CPU.Shares) > 0 &&
+		cap(donor.CPU.Shares) > 0 {
+		d := donor.CPU.Shares[:1]
+		if &d[0] == &a.CPU.Shares[0] {
+			t.Fatal("donor shell aliases the adopted record's shares")
+		}
+	}
+	st.ReleaseVM(a)
+}
+
+// TestReleaseVMDoubleReleaseIsNoop: releasing the same record twice must
+// not corrupt the pool (a double insertion would hand one record to two
+// future VMs).
+func TestReleaseVMDoubleReleaseIsNoop(t *testing.T) {
+	st := testState(t)
+	vm := workload.VM{ID: 1, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+	a, err := st.AllocateVM(vm, testTriple(st), network.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ReleaseVM(a)
+	st.ReleaseVM(a)
+	if len(st.freeAssignments) != 1 {
+		t.Fatalf("double release pooled the record %d times, want 1", len(st.freeAssignments))
+	}
+}

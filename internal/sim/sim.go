@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -51,39 +50,25 @@ type event struct {
 	do   func(st *sched.State) // inject only
 }
 
-// eventHeap implements heap.Interface over events ordered by
-// (time, kind, sequence); h[0] is the next event to fire.
-type eventHeap []event
-
-// Len implements heap.Interface.
-func (h eventHeap) Len() int { return len(h) }
-
-// Less implements heap.Interface: earlier times first, then kind order
-// (inject < departure < arrival), then FIFO.
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// Less orders events by (time, kind, sequence): earlier times first, then
+// kind order (inject < departure < arrival), then FIFO. It is the ordering
+// the event queue (an eventQueue, see heap4.go) pops by.
+func (e event) Less(o event) bool {
+	if e.t != o.t {
+		return e.t < o.t
 	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
+	if e.kind != o.kind {
+		return e.kind < o.kind
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
 
-// Swap implements heap.Interface.
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-// Push implements heap.Interface.
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-
-// Pop implements heap.Interface.
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// eventQueue is the simulator's pending-event queue: a non-boxing 4-ary
+// min-heap of events. Unlike the container/heap implementation it
+// replaces, Push does not allocate (no interface{} boxing) and Pop zeroes
+// the vacated slot, so a departed VM's assignment is unreachable the
+// moment its departure fires.
+type eventQueue = heap4[event]
 
 // Result aggregates everything one run produces. All percentages are in
 // [0, 100].
@@ -229,13 +214,12 @@ func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 	res := &Result{Algorithm: r.sch.Name(), Workload: tr.Name}
 	acct := power.NewAccountant(r.model)
 
-	var h eventHeap
+	var h eventQueue
 	seq := 0
 	for _, inj := range r.injections {
-		h = append(h, event{t: inj.T, kind: inject, seq: seq, do: inj.Do})
+		h.Push(event{t: inj.T, kind: inject, seq: seq, do: inj.Do})
 		seq++
 	}
-	heap.Init(&h)
 
 	var utilW [units.NumResources]metrics.TimeWeighted
 	var intraW, interW, powerW metrics.TimeWeighted
@@ -262,10 +246,13 @@ func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 			res.InterPod++
 		}
 		latencySum += a.CPURAMLatency()
-		for _, fl := range a.Flows() {
-			acct.Add(fl)
+		if a.CPURAMFlow != nil {
+			acct.Add(a.CPURAMFlow)
 		}
-		heap.Push(&h, event{t: now + vm.Lifetime, kind: departure, seq: seq, vm: vm, a: a})
+		if a.RAMSTOFlow != nil {
+			acct.Add(a.RAMSTOFlow)
+		}
+		h.Push(event{t: now + vm.Lifetime, kind: departure, seq: seq, vm: vm, a: a})
 		seq++
 		return true
 	}
@@ -313,8 +300,8 @@ func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 		// Next event: the heap's minimum, unless the pending arrival
 		// comes first (see heapFirst for the simultaneous-event order).
 		var e event
-		if heapFirst(h, pending, more) {
-			e = heap.Pop(&h).(event)
+		if heapFirst(&h, pending, more) {
+			e = h.Pop()
 		} else {
 			e = event{t: pending.Arrival, kind: arrival, vm: pending}
 			pending, more = src.Next()
@@ -333,7 +320,11 @@ func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 			}
 		case departure:
 			life := time.Duration(float64(e.vm.Lifetime) * SecondsPerTimeUnit * float64(time.Second))
-			for _, fl := range e.a.Flows() {
+			if fl := e.a.CPURAMFlow; fl != nil {
+				acct.Remove(fl)
+				res.Eq1EnergyJ += r.model.FlowEnergy(fl, life)
+			}
+			if fl := e.a.RAMSTOFlow; fl != nil {
 				acct.Remove(fl)
 				res.Eq1EnergyJ += r.model.FlowEnergy(fl, life)
 			}

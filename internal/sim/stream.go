@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -176,7 +175,7 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 		return
 	}
 
-	var h eventHeap
+	var h eventQueue
 	seq := 0
 	resident := 0
 	var lastT int64
@@ -194,8 +193,8 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 	// state (Drain releases the survivors afterwards, unmetered).
 	for more || h.Len() > 0 {
 		var e event
-		if heapFirst(h, pending, more) {
-			e = heap.Pop(&h).(event)
+		if heapFirst(&h, pending, more) {
+			e = h.Pop()
 		} else {
 			e = event{t: pending.Arrival, kind: arrival, vm: pending}
 			// Stop criterion: pull the successor only while the arrival
@@ -251,7 +250,7 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 				res.Accepted++
 				wind.cur.Accepted++
 			}
-			heap.Push(&h, event{t: e.t + e.vm.Lifetime, kind: departure, seq: seq, vm: e.vm, a: a})
+			h.Push(event{t: e.t + e.vm.Lifetime, kind: departure, seq: seq, vm: e.vm, a: a})
 			seq++
 		}
 		perRes, binding := utilNow()
@@ -278,7 +277,7 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 	if cfg.Drain {
 		// Unmetered: release the survivors so the state ends empty.
 		for h.Len() > 0 {
-			e := heap.Pop(&h).(event)
+			e := h.Pop()
 			if e.kind == departure {
 				r.sch.Release(e.a)
 			}
@@ -292,9 +291,13 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 // loops (Run and RunStream) share: injections and departures outrank
 // arrivals at equal times (kind order), and arrivals at equal times keep
 // stream order because only one is materialized at a time.
-func heapFirst(h eventHeap, pending workload.VM, more bool) bool {
-	return h.Len() > 0 && (!more || h[0].t < pending.Arrival ||
-		(h[0].t == pending.Arrival && h[0].kind < arrival))
+func heapFirst(h *eventQueue, pending workload.VM, more bool) bool {
+	if h.Len() == 0 {
+		return false
+	}
+	min := h.Min()
+	return !more || min.t < pending.Arrival ||
+		(min.t == pending.Arrival && min.kind < arrival)
 }
 
 // controlled is implemented by the workload generator streams that carry
@@ -397,22 +400,29 @@ func (w *windower) overallAvg(end int64) [units.NumResources]float64 {
 }
 
 // reservoir is a fixed-size uniform sample over a stream of observations
-// (Vitter's algorithm R), used for the decision-latency percentiles.
+// (Vitter's algorithm R), used for the decision-latency percentiles. The
+// sample buffer is preallocated to its fixed capacity and the percentile
+// sort works on a reusable scratch copy, so the reservoir performs no
+// per-observation allocations and at most one sort per batch of reads —
+// part of the steady-state loop's memory discipline (DESIGN.md §9).
 type reservoir struct {
-	k    int
-	n    int64
-	vals []float64
-	rng  *rand.Rand
+	k        int
+	n        int64
+	vals     []float64
+	rng      *rand.Rand
+	sorted   []float64 // reusable scratch copy of vals, sorted
+	sortedOK bool      // sorted reflects vals
 }
 
 // newReservoir returns a reservoir holding at most k samples.
 func newReservoir(k int, seed int64) *reservoir {
-	return &reservoir{k: k, rng: rand.New(rand.NewSource(seed))}
+	return &reservoir{k: k, vals: make([]float64, 0, k), rng: rand.New(rand.NewSource(seed))}
 }
 
 // add offers one observation to the reservoir.
 func (r *reservoir) add(v float64) {
 	r.n++
+	r.sortedOK = false
 	if len(r.vals) < r.k {
 		r.vals = append(r.vals, v)
 		return
@@ -426,20 +436,22 @@ func (r *reservoir) add(v float64) {
 func (r *reservoir) samples() int { return len(r.vals) }
 
 // percentile returns the p-th percentile (nearest-rank) of the held
-// sample, 0 when empty.
+// sample, 0 when empty. Consecutive reads share one sorted scratch copy.
 func (r *reservoir) percentile(p float64) float64 {
 	if len(r.vals) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(r.vals))
-	copy(sorted, r.vals)
-	sort.Float64s(sorted)
-	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if !r.sortedOK {
+		r.sorted = append(r.sorted[:0], r.vals...)
+		sort.Float64s(r.sorted)
+		r.sortedOK = true
+	}
+	rank := int(p/100*float64(len(r.sorted))+0.5) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank >= len(r.sorted) {
+		rank = len(r.sorted) - 1
 	}
-	return sorted[rank]
+	return r.sorted[rank]
 }

@@ -95,9 +95,11 @@ type Placement struct {
 func (p Placement) IsZero() bool { return p.Box == nil || p.Total == 0 }
 
 // allocate carves amount out of the box, greedily filling bricks in index
-// order (first-fit across bricks). It returns the per-brick shares, or an
-// error if the box lacks capacity; on error the box is unchanged.
-func (b *Box) allocate(amount units.Amount) (Placement, error) {
+// order (first-fit across bricks). It returns the per-brick shares —
+// appended onto buf, which callers on the zero-allocation hot path pass in
+// from a recycled placement record (nil is fine and simply allocates) — or
+// an error if the box lacks capacity; on error the box is unchanged.
+func (b *Box) allocate(amount units.Amount, buf []BrickShare) (Placement, error) {
 	if amount <= 0 {
 		return Placement{}, fmt.Errorf("topology: allocation amount must be positive, got %d", amount)
 	}
@@ -108,7 +110,7 @@ func (b *Box) allocate(amount units.Amount) (Placement, error) {
 		return Placement{}, fmt.Errorf("topology: %v has %d %s free, need %d",
 			b, b.free, b.kind.Native(), amount)
 	}
-	p := Placement{Box: b, Total: amount}
+	p := Placement{Box: b, Total: amount, Shares: buf}
 	remaining := amount
 	for i := range b.bricks {
 		if remaining == 0 {

@@ -159,7 +159,16 @@ func (c *Cluster) ContentionRatio(k units.Resource, req units.Amount) float64 {
 
 // Allocate carves amount of box's kind out of box, updating cluster totals.
 func (c *Cluster) Allocate(box *Box, amount units.Amount) (Placement, error) {
-	p, err := box.allocate(amount)
+	return c.AllocateInto(box, amount, nil)
+}
+
+// AllocateInto is Allocate with a caller-provided brick-share buffer: the
+// placement's Shares are appended onto buf (usually the emptied buffer of
+// a recycled placement record), so steady-state allocation reuses the
+// record's memory instead of growing a fresh slice per placement. Passing
+// nil reproduces Allocate exactly.
+func (c *Cluster) AllocateInto(box *Box, amount units.Amount, buf []BrickShare) (Placement, error) {
+	p, err := box.allocate(amount, buf)
 	if err != nil {
 		return Placement{}, err
 	}
