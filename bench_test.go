@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"risa/internal/core"
 	"risa/internal/experiments"
 	"risa/internal/network"
 	"risa/internal/optics"
@@ -106,6 +107,70 @@ func BenchmarkScheduleOneAllocs(b *testing.B) {
 			}
 			if avg := testing.AllocsPerRun(200, round); avg != 0 {
 				b.Fatalf("%s: %.2f allocs/op at steady state, want 0", alg, avg)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleOneUnderFaults asserts the zero-allocation contract
+// of the fault path: every iteration fails the rack holding a resident
+// VM, displaces that VM through core.Displace (the eviction transaction
+// — its records must recycle through the assignment and flow pools),
+// makes one Schedule+Release decision against the degraded cluster, and
+// repairs the rack (re-seeding both topology index tiers). Like
+// BenchmarkScheduleOneAllocs it FAILS on any steady-state allocation,
+// and scripts/ci/allocguard.sh pins it at 0 allocs/op.
+func BenchmarkScheduleOneUnderFaults(b *testing.B) {
+	for _, alg := range experiments.Algorithms {
+		b.Run(alg, func(b *testing.B) {
+			st, err := experiments.DefaultSetup().NewState()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sch, err := experiments.NewScheduler(alg, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 500; i++ {
+				vm := workload.VM{ID: i, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+				if _, err := sch.Schedule(vm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			setRackFailed := func(rack int, failed bool) {
+				for _, bx := range st.Cluster.Rack(rack).Boxes() {
+					st.Cluster.SetBoxFailed(bx, failed)
+				}
+			}
+			displaced, err := sch.Schedule(workload.VM{ID: 9_999, Lifetime: 1, Req: units.Vec(8, 16, 128)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			vm := workload.VM{ID: 10_000, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+			round := func() {
+				rack := displaced.CPU.Box.Rack()
+				setRackFailed(rack, true)
+				if !core.Displace(st, sch, displaced) {
+					b.Fatal("half-loaded cluster must absorb the displaced VM")
+				}
+				a, err := sch.Schedule(vm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sch.Release(a)
+				setRackFailed(rack, false)
+			}
+			// Warm the pools and scratch high-water marks.
+			for i := 0; i < 64; i++ {
+				round()
+			}
+			if avg := testing.AllocsPerRun(200, round); avg != 0 {
+				b.Fatalf("%s: %.2f allocs/op on the fault path at steady state, want 0", alg, avg)
 			}
 			b.ResetTimer()
 			b.ReportAllocs()

@@ -15,6 +15,10 @@
 //	risasim -exp churn               # steady-state ladder, 100k arrivals/rung
 //	risasim -exp churn -target-util 0.8   # one rung at 80% occupancy
 //	risasim -exp churn -duration 50000    # time-capped rungs (smoke)
+//	risasim -exp faults              # availability ladder, MTBF × utilization
+//	risasim -exp faults -evict       # with displaced-VM recovery
+//	risasim -exp faults -mtbf 10000 -mttr 1000   # one custom MTBF rung
+//	risasim -exp faults -target-util 0.75 -duration 30000   # quick cell
 //	risasim -exp churn -cpuprofile cpu.pprof   # profile the hot path
 //	risasim -exp all -memprofile mem.pprof     # heap profile on clean exit
 //
@@ -47,6 +51,9 @@ type options struct {
 	jsonPath   string
 	duration   int64
 	targetUtil float64
+	mtbf       int64
+	mttr       int64
+	evict      bool
 	cpuprofile string
 	memprofile string
 }
@@ -55,14 +62,17 @@ type options struct {
 func parseArgs(args []string) (options, error) {
 	var o options
 	fs := flag.NewFlagSet("risasim", flag.ContinueOnError)
-	fs.StringVar(&o.exp, "exp", "all", "experiment to run: toy1, toy2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, pool, seeds, scale, churn, resilience, defrag, stranding, queue, threetier, ablations, azure, all")
+	fs.StringVar(&o.exp, "exp", "all", "experiment to run: toy1, toy2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, pool, seeds, scale, churn, faults, resilience, defrag, stranding, queue, threetier, ablations, azure, all")
 	fs.Int64Var(&o.seed, "seed", 1, "workload generation seed")
 	fs.IntVar(&o.uplinks, "uplinks", 0, "override box uplinks per box (0 = calibrated default)")
 	fs.IntVar(&o.parallel, "parallel", 0, "worker-pool width for experiment grids (0 = one per CPU, 1 = serial)")
 	fs.IntVar(&o.racks, "racks", 18, "cluster size in racks; for -exp scale, the sweep's largest point")
 	fs.StringVar(&o.jsonPath, "json", "", "also archive every run as a JSON report at this path")
-	fs.Int64Var(&o.duration, "duration", 0, "for -exp churn: cap each rung's simulated time in time units (0 = arrival budget only)")
-	fs.Float64Var(&o.targetUtil, "target-util", 0, "for -exp churn: run one rung at this binding-resource occupancy fraction instead of the ladder (>= 1 sustains overload, 0 = full ladder)")
+	fs.Int64Var(&o.duration, "duration", 0, "for -exp churn/faults: cap each cell's simulated time in time units (0 = churn: arrival budget only, faults: 50000)")
+	fs.Float64Var(&o.targetUtil, "target-util", 0, "for -exp churn/faults: run one utilization rung at this binding-occupancy fraction instead of the ladder (>= 1 sustains overload, 0 = full ladder)")
+	fs.Int64Var(&o.mtbf, "mtbf", 0, "for -exp faults: per-box mean time between failures in time units (0 = default calm/storm MTBF ladder)")
+	fs.Int64Var(&o.mttr, "mttr", experiments.DefaultFaultMTTR, "for -exp faults: per-box mean time to repair in time units")
+	fs.BoolVar(&o.evict, "evict", false, "for -exp faults: evict VMs from failed hardware and re-place them through the scheduler (default: VMs ride out outages in place)")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file on clean exit")
 	if err := fs.Parse(args); err != nil {
@@ -88,7 +98,31 @@ func parseArgs(args []string) (options, error) {
 	if o.targetUtil < 0 || o.targetUtil > 4 {
 		return o, fmt.Errorf("-target-util must be 0 (full ladder) or in (0, 4], got %g", o.targetUtil)
 	}
+	if o.mtbf < 0 {
+		return o, fmt.Errorf("-mtbf must be non-negative, got %d", o.mtbf)
+	}
+	if o.mttr <= 0 {
+		return o, fmt.Errorf("-mttr must be positive, got %d", o.mttr)
+	}
 	return o, nil
+}
+
+// faultsConfig turns the fault flags into the availability-ladder
+// configuration: the default MTBF × utilization grid, narrowed to one
+// MTBF rung by -mtbf (keeping the fault-free baseline for comparison)
+// and to one utilization rung by -target-util, time-capped by -duration.
+func faultsConfig(o options) experiments.FaultsConfig {
+	cfg := experiments.FaultsConfig{Duration: o.duration, MTTR: o.mttr, Evict: o.evict}
+	if o.mtbf > 0 {
+		cfg.Rungs = []experiments.FaultRung{
+			{Label: "none"},
+			{Label: fmt.Sprintf("mtbf=%d", o.mtbf), MTBF: o.mtbf, MTTR: o.mttr},
+		}
+	}
+	if o.targetUtil > 0 {
+		cfg.Targets = []float64{o.targetUtil}
+	}
+	return cfg
 }
 
 // churnConfig turns the churn flags into the experiment configuration:
@@ -202,7 +236,7 @@ func main() {
 	if opts.jsonPath != "" {
 		archive = report.NewDocument(opts.seed)
 	}
-	if err := run(setup, opts.exp, scaleMaxRacks(opts), churnConfig(opts)); err != nil {
+	if err := run(setup, opts.exp, scaleMaxRacks(opts), churnConfig(opts), faultsConfig(opts)); err != nil {
 		fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
 		os.Exit(1)
 	}
@@ -241,9 +275,9 @@ func record(results map[string]*sim.Result) {
 
 // run executes one experiment name against the setup; scaleMax is the
 // largest point of the -exp scale ladder (≤ 0 selects the 1152-rack
-// default), churn the -exp churn configuration (zero value = default
-// ladder).
-func run(setup experiments.Setup, exp string, scaleMax int, churn experiments.ChurnConfig) error {
+// default), churn the -exp churn configuration and faultsCfg the -exp
+// faults one (zero values = default ladders).
+func run(setup experiments.Setup, exp string, scaleMax int, churn experiments.ChurnConfig, faultsCfg experiments.FaultsConfig) error {
 	needMatrix := map[string]bool{
 		"fig7": true, "fig8": true, "fig9": true, "fig10": true, "fig12": true,
 		"azure": true, "all": true,
@@ -341,6 +375,13 @@ func run(setup experiments.Setup, exp string, scaleMax int, churn experiments.Ch
 		}
 		fmt.Println(c.Render())
 	}
+	if exp == "faults" {
+		f, err := setup.RunFaults(faultsCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Render())
+	}
 	if exp == "threetier" || exp == "all" {
 		azureSetup := experiments.AzureSetupFrom(setup)
 		tt, err := azureSetup.RunThreeTier()
@@ -393,7 +434,7 @@ func run(setup experiments.Setup, exp string, scaleMax int, churn experiments.Ch
 	}
 	if !needMatrix[exp] {
 		switch exp {
-		case "toy1", "toy2", "fig5", "fig6", "fig11", "pool", "ablations", "seeds", "scale", "churn", "resilience", "defrag", "stranding", "queue", "threetier":
+		case "toy1", "toy2", "fig5", "fig6", "fig11", "pool", "ablations", "seeds", "scale", "churn", "faults", "resilience", "defrag", "stranding", "queue", "threetier":
 		default:
 			return fmt.Errorf("unknown experiment %q", exp)
 		}

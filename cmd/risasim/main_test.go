@@ -16,20 +16,20 @@ func quickSetup() experiments.Setup {
 
 func TestRunToyExperiments(t *testing.T) {
 	for _, exp := range []string{"toy1", "toy2"} {
-		if err := run(quickSetup(), exp, 0, experiments.ChurnConfig{}); err != nil {
+		if err := run(quickSetup(), exp, 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(quickSetup(), "fig99", 0, experiments.ChurnConfig{}); err == nil {
+	if err := run(quickSetup(), "fig99", 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
 
 func TestRunFig6(t *testing.T) {
-	if err := run(quickSetup(), "fig6", 0, experiments.ChurnConfig{}); err != nil {
+	if err := run(quickSetup(), "fig6", 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}); err != nil {
 		t.Error(err)
 	}
 }
@@ -38,7 +38,7 @@ func TestRunFig5(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full synthetic run")
 	}
-	if err := run(quickSetup(), "fig5", 0, experiments.ChurnConfig{}); err != nil {
+	if err := run(quickSetup(), "fig5", 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}); err != nil {
 		t.Error(err)
 	}
 }
@@ -133,7 +133,7 @@ func TestRunScaleExperimentWiring(t *testing.T) {
 	// scale experiment and render without error.
 	setup := quickSetup()
 	setup.Topology.Racks = 2
-	if err := run(setup, "scale", 2, experiments.ChurnConfig{}); err != nil {
+	if err := run(setup, "scale", 2, experiments.ChurnConfig{}, experiments.FaultsConfig{}); err != nil {
 		t.Error(err)
 	}
 }
@@ -254,6 +254,61 @@ func TestRunChurnExperimentWiring(t *testing.T) {
 		Arrivals: 4000,
 		Duration: 30000,
 		Rungs:    []experiments.ChurnRung{{Label: "50%", Target: 0.5}},
+	}, experiments.FaultsConfig{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseArgsFaultFlags(t *testing.T) {
+	o, err := parseArgs([]string{"-exp", "faults", "-mtbf", "10000", "-mttr", "500", "-evict", "-target-util", "0.75", "-duration", "30000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.exp != "faults" || o.mtbf != 10000 || o.mttr != 500 || !o.evict {
+		t.Errorf("fault flags not plumbed: %+v", o)
+	}
+	cfg := faultsConfig(o)
+	if cfg.Duration != 30000 || cfg.MTTR != 500 || !cfg.Evict {
+		t.Errorf("fault config not built: %+v", cfg)
+	}
+	// -mtbf narrows the ladder to the fault-free baseline plus one rung.
+	if len(cfg.Rungs) != 2 || cfg.Rungs[0].MTBF != 0 || cfg.Rungs[1].MTBF != 10000 || cfg.Rungs[1].MTTR != 500 {
+		t.Errorf("-mtbf not applied: %+v", cfg.Rungs)
+	}
+	if len(cfg.Targets) != 1 || cfg.Targets[0] != 0.75 {
+		t.Errorf("-target-util not applied: %+v", cfg.Targets)
+	}
+
+	o, err = parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.mttr != experiments.DefaultFaultMTTR || o.evict {
+		t.Errorf("fault flag defaults wrong: %+v", o)
+	}
+	if cfg := faultsConfig(o); len(cfg.Rungs) != 0 || len(cfg.Targets) != 0 {
+		t.Errorf("default fault config should select the ladders: %+v", cfg)
+	}
+
+	for _, args := range [][]string{
+		{"-mtbf", "-5"},
+		{"-mttr", "0"},
+		{"-mttr", "-2"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("parseArgs(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunFaultsExperimentWiring(t *testing.T) {
+	// One short cell: a single MTBF rung at one target, time-capped.
+	if err := run(quickSetup(), "faults", 0, experiments.ChurnConfig{}, experiments.FaultsConfig{
+		Arrivals: 4000,
+		Duration: 20000,
+		Targets:  []float64{0.5},
+		Rungs:    []experiments.FaultRung{{Label: "smoke", MTBF: 4000, MTTR: 500}},
+		Evict:    true,
 	}); err != nil {
 		t.Error(err)
 	}

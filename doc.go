@@ -8,7 +8,10 @@
 // NALB baselines (Zervas et al.) and the RISA / RISA-BF contribution.
 // Beyond the paper's finite traces, a streaming workload engine
 // (workload.Stream + sim.RunStream) sustains open-ended arrival streams
-// at a controlled occupancy for steady-state churn experiments.
+// at a controlled occupancy for steady-state churn experiments, and a
+// fault subsystem (internal/faults + sim.Config.Faults) plays stochastic
+// hardware outage plans — with optional displaced-VM recovery — for the
+// availability ladder.
 //
 // Start with DESIGN.md for the system inventory, experiment index and
 // steady-state methodology, EXPERIMENTS.md for measured-vs-paper

@@ -113,6 +113,80 @@ func TestRebalanceHandlesNilEntries(t *testing.T) {
 	}
 }
 
+func TestDisplaceMovesVMOffFailedBox(t *testing.T) {
+	st := defaultState(t)
+	r := New(st)
+	a, err := r.Schedule(typicalVM(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := a.CPU.Box
+	for _, b := range st.Cluster.Rack(failed.Rack()).Boxes() {
+		st.Cluster.SetBoxFailed(b, true)
+	}
+	if !a.OnFailedHardware() {
+		t.Fatal("assignment should sit on failed hardware")
+	}
+	if !Displace(st, r, a) {
+		t.Fatal("a near-empty cluster must re-place the displaced VM")
+	}
+	if a.OnFailedHardware() {
+		t.Error("displaced VM still on failed hardware")
+	}
+	if a.CPU.Box.Rack() == failed.Rack() {
+		t.Error("displaced VM re-placed into the failed rack")
+	}
+	if a.VM.ID != 0 || a.CPU.Total != 8 || a.RAM.Total != 16 || a.STO.Total != 128 {
+		t.Errorf("displaced record corrupted: VM %d, %d/%d/%d",
+			a.VM.ID, a.CPU.Total, a.RAM.Total, a.STO.Total)
+	}
+	// The caller-held record remains releasable like any other.
+	st.ReleaseVM(a)
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := st.Fabric.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisplaceFailureReleasesAndReportsLost(t *testing.T) {
+	st := defaultState(t)
+	r := New(st)
+	a, err := r.Schedule(typicalVM(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail every box in the cluster: no re-placement can exist.
+	for _, b := range st.Cluster.Boxes() {
+		st.Cluster.SetBoxFailed(b, true)
+	}
+	if Displace(st, r, a) {
+		t.Fatal("re-placement into an all-failed cluster must fail")
+	}
+	// The record's holdings were released (into failed boxes, so the
+	// capacity surfaces at repair) and the shell is safe to pool.
+	if !a.CPU.IsZero() || !a.RAM.IsZero() || !a.STO.IsZero() || a.CPURAMFlow != nil {
+		t.Error("failed displace left holdings on the record")
+	}
+	st.ReleaseVM(a)
+	for _, b := range st.Cluster.Boxes() {
+		st.Cluster.SetBoxFailed(b, false)
+	}
+	// Everything must be pristine after repair.
+	for _, k := range units.Resources() {
+		if st.Cluster.TotalFree(k) != st.Cluster.TotalCapacity(k) {
+			t.Errorf("%v not pristine after repair", k)
+		}
+	}
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := st.Fabric.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestRebalanceManyVMs(t *testing.T) {
 	// Fill a cluster with NULB under rack-0 CPU pressure to create many
 	// inter-rack placements, then rebalance with RISA and verify every

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"risa/internal/faults"
+	"risa/internal/sim"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// FaultRung is one row of the availability ladder: a box-tier outage
+// process. The zero MTBF rung is the fault-free baseline.
+type FaultRung struct {
+	Label string
+	// MTBF and MTTR are the per-box mean up and down times in simulated
+	// time units; MTBF 0 disables faults for the rung.
+	MTBF, MTTR int64
+}
+
+// DefaultFaultRungs returns the ladder's default MTBF axis: a fault-free
+// baseline, a calm regime (a handful of concurrent box outages) and a
+// stormy one (an order of magnitude more).
+func DefaultFaultRungs(mttr int64) []FaultRung {
+	if mttr <= 0 {
+		mttr = DefaultFaultMTTR
+	}
+	return []FaultRung{
+		{Label: "none"},
+		{Label: "calm", MTBF: 50000, MTTR: mttr},
+		{Label: "storm", MTBF: 5000, MTTR: mttr},
+	}
+}
+
+// DefaultFaultMTTR is the default per-box mean repair time.
+const DefaultFaultMTTR = 2000
+
+// FaultsConfig parameterizes the `-exp faults` availability ladder.
+type FaultsConfig struct {
+	// Arrivals caps each cell's arrival budget (default 100 000 — the
+	// Duration cap below usually binds first).
+	Arrivals int
+	// Duration is each cell's simulated-time cap and the fault plan's
+	// generation horizon; must cover warmup plus a few windows
+	// (default 50 000).
+	Duration int64
+	// Targets is the utilization axis as binding-occupancy fractions
+	// (default 0.60 and 0.90).
+	Targets []float64
+	// Rungs is the MTBF axis (default DefaultFaultRungs).
+	Rungs []FaultRung
+	// MTTR overrides the default rungs' repair time (ignored when Rungs
+	// is given explicitly).
+	MTTR int64
+	// Evict turns on displaced-VM recovery: VMs on failed hardware are
+	// evicted and re-placed through the scheduler instead of riding out
+	// the outage in place.
+	Evict bool
+}
+
+// FaultCell is one (MTBF rung, utilization target, algorithm)
+// steady-state run under faults.
+type FaultCell struct {
+	Rung      FaultRung
+	Target    float64
+	Algorithm string
+	Result    *sim.SteadyState
+}
+
+// Faults is the full MTBF × utilization × algorithm availability grid.
+type Faults struct {
+	Setup    Setup
+	Arrivals int
+	Duration int64
+	Evict    bool
+	Lifetime int64
+	Cells    []FaultCell // rung-major, then target, then Algorithms order
+}
+
+// RunFaults executes the availability ladder: every MTBF rung at every
+// utilization target under every algorithm, each cell a fresh datacenter
+// consuming its own deterministic stochastic fault plan (same seed ⇒
+// bit-identical plans, placements and availability metrics, regardless
+// of the worker-pool width).
+func (s Setup) RunFaults(cfg FaultsConfig) (*Faults, error) {
+	if cfg.Arrivals == 0 {
+		cfg.Arrivals = 100000
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 50000
+	}
+	if cfg.Arrivals < 0 || cfg.Duration < 0 {
+		return nil, fmt.Errorf("experiments: negative fault bounds (arrivals %d, duration %d)", cfg.Arrivals, cfg.Duration)
+	}
+	if len(cfg.Targets) == 0 {
+		cfg.Targets = []float64{0.60, 0.90}
+	}
+	for _, target := range cfg.Targets {
+		if target <= 0 {
+			return nil, fmt.Errorf("experiments: fault ladder target must be positive, got %g", target)
+		}
+	}
+	if len(cfg.Rungs) == 0 {
+		cfg.Rungs = DefaultFaultRungs(cfg.MTTR)
+	}
+	for _, r := range cfg.Rungs {
+		if r.MTBF < 0 || (r.MTBF > 0 && r.MTTR <= 0) {
+			return nil, fmt.Errorf("experiments: fault rung %q has MTBF %d / MTTR %d", r.Label, r.MTBF, r.MTTR)
+		}
+	}
+	base := workload.DefaultSyntheticConfig()
+	warmup := 2 * base.LifetimeBase
+	if warmup > cfg.Duration/4 {
+		warmup = cfg.Duration / 4
+	}
+	window := base.LifetimeBase
+	if window > (cfg.Duration-warmup)/4 {
+		window = (cfg.Duration - warmup) / 4
+	}
+	if window < 1 {
+		window = 1
+	}
+
+	out := &Faults{
+		Setup: s, Arrivals: cfg.Arrivals, Duration: cfg.Duration,
+		Evict: cfg.Evict, Lifetime: base.LifetimeBase,
+	}
+	// One plan per rung, generated once and shared read-only by every
+	// (target, algorithm) cell of the rung — the plan depends only on
+	// the rung's rates, the seed and the cluster dimensions.
+	plans := make([]*faults.Plan, len(cfg.Rungs))
+	for i, rung := range cfg.Rungs {
+		var err error
+		if plans[i], err = s.faultPlan(rung, cfg.Duration); err != nil {
+			return nil, err
+		}
+	}
+	out.Cells = make([]FaultCell, 0, len(cfg.Rungs)*len(cfg.Targets)*len(Algorithms))
+	for _, rung := range cfg.Rungs {
+		for _, target := range cfg.Targets {
+			for _, alg := range Algorithms {
+				out.Cells = append(out.Cells, FaultCell{Rung: rung, Target: target, Algorithm: alg})
+			}
+		}
+	}
+	cellsPerRung := len(cfg.Targets) * len(Algorithms)
+	errs := make([]error, len(out.Cells))
+	Engine{}.ForEach(len(out.Cells), func(i int) {
+		cell := &out.Cells[i]
+		cell.Result, errs[i] = s.runFaultCell(cell.Algorithm, cell.Target, plans[i/cellsPerRung], cfg.Evict, sim.StreamConfig{
+			MaxArrivals: cfg.Arrivals,
+			Duration:    cfg.Duration,
+			Warmup:      warmup,
+			Window:      window,
+		})
+	})
+	for i, err := range errs {
+		if err != nil {
+			cell := out.Cells[i]
+			return nil, fmt.Errorf("%s at rung %s target %.0f%%: %w", cell.Algorithm, cell.Rung.Label, cell.Target*100, err)
+		}
+	}
+	return out, nil
+}
+
+// faultPlan generates one rung's box-outage plan over the given horizon
+// (nil for the fault-free baseline rung).
+func (s Setup) faultPlan(rung FaultRung, horizon int64) (*faults.Plan, error) {
+	if rung.MTBF <= 0 {
+		return nil, nil
+	}
+	return faults.Generate(faults.GenConfig{
+		Seed:         s.Seed,
+		Horizon:      horizon,
+		Racks:        s.Topology.Racks,
+		BoxesPerRack: s.Topology.BoxesPerRack(),
+		Box:          faults.TierRates{MTBF: float64(rung.MTBF), MTTR: float64(rung.MTTR)},
+	})
+}
+
+// RunFaultCell executes one availability cell: the named algorithm on a
+// fresh datacenter consuming the target's controlled stream while the
+// rung's generated box-outage plan plays out.
+func (s Setup) RunFaultCell(algorithm string, target float64, rung FaultRung, evict bool, cfg sim.StreamConfig) (*sim.SteadyState, error) {
+	plan, err := s.faultPlan(rung, cfg.Duration)
+	if err != nil {
+		return nil, err
+	}
+	return s.runFaultCell(algorithm, target, plan, evict, cfg)
+}
+
+// runFaultCell is RunFaultCell on an already-generated (shared,
+// read-only) plan; a nil plan runs the fault-free baseline.
+func (s Setup) runFaultCell(algorithm string, target float64, plan *faults.Plan, evict bool, cfg sim.StreamConfig) (*sim.SteadyState, error) {
+	st, err := s.NewState()
+	if err != nil {
+		return nil, err
+	}
+	var capacity [units.NumResources]units.Amount
+	for _, k := range units.Resources() {
+		capacity[k] = st.Cluster.TotalCapacity(k)
+	}
+	stream, err := churnStream(s.Seed, ChurnRung{Target: target}, capacity)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.Config{}
+	if plan != nil {
+		simCfg.Faults = plan
+		simCfg.Evict = evict
+	}
+	sch, err := NewScheduler(algorithm, st)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := sim.NewRunner(st, sch, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	return runner.RunStream(stream, cfg)
+}
+
+// Render draws the availability ladder as one table per (rung, target).
+func (f *Faults) Render() string {
+	var b strings.Builder
+	mode := "keep-running (VMs ride out outages in place)"
+	if f.Evict {
+		mode = "evict (displaced VMs re-place through the scheduler)"
+	}
+	fmt.Fprintf(&b, "Availability ladder: box-tier MTBF × utilization, %d racks, %d tu per cell, policy: %s\n",
+		f.Setup.Topology.Racks, f.Duration, mode)
+	b.WriteString("(metrics exclude warmup; acc%/win is mean over complete windows with the worst window in parentheses;\n")
+	b.WriteString(" displ/rec/lost count displaced VMs; re-place p95 is wall-clock — regenerate with -parallel 1 for honest timings)\n")
+	for i, cell := range f.Cells {
+		if cell.Algorithm == Algorithms[0] {
+			if i > 0 {
+				b.WriteString("\n")
+			}
+			if cell.Rung.MTBF == 0 {
+				fmt.Fprintf(&b, "rung %-6s (no faults) · target %.0f%%\n", cell.Rung.Label, cell.Target*100)
+			} else {
+				fmt.Fprintf(&b, "rung %-6s (box MTBF %d, MTTR %d) · target %.0f%%\n",
+					cell.Rung.Label, cell.Rung.MTBF, cell.Rung.MTTR, cell.Target*100)
+			}
+			fmt.Fprintf(&b, "  %-8s %9s %7s %14s %6s %6s %6s %12s %17s\n",
+				"alg", "arrivals", "accept%", "acc%/win", "displ", "rec", "lost", "re-place p95", "util C/R/S %")
+		}
+		r := cell.Result
+		accPct := 100.0
+		if r.Arrivals > 0 {
+			accPct = float64(r.Accepted) / float64(r.Arrivals) * 100
+		}
+		meanWin, minWin := windowAcceptance(r.Windows)
+		fmt.Fprintf(&b, "  %-8s %9d %7.2f %6.1f (%5.1f) %6d %6d %6d %12s %5.1f/%4.1f/%4.1f\n",
+			cell.Algorithm, r.Arrivals, accPct, meanWin, minWin,
+			r.Displaced, r.Recovered, r.DisplacedLost, shortDur(r.ReplaceP95),
+			r.AvgUtil[units.CPU], r.AvgUtil[units.RAM], r.AvgUtil[units.Storage])
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"risa/internal/sim"
+)
+
+// quickFaultsConfig is one small cell per knob so the grid stays fast.
+func quickFaultsConfig() FaultsConfig {
+	return FaultsConfig{
+		Arrivals: 4000,
+		Duration: 20000,
+		Targets:  []float64{0.6},
+		Rungs:    []FaultRung{{Label: "smoke", MTBF: 4000, MTTR: 500}},
+		Evict:    true,
+	}
+}
+
+// stripFaultWallClock zeroes the wall-clock fields of every cell.
+func stripFaultWallClock(f *Faults) {
+	for i := range f.Cells {
+		r := f.Cells[i].Result
+		r.SchedulingTime, r.WallTime = 0, 0
+		r.LatencyP50, r.LatencyP95, r.LatencyP99 = 0, 0, 0
+		r.ReplaceP50, r.ReplaceP95, r.ReplaceP99 = 0, 0, 0
+	}
+}
+
+// TestFaultsLadderDeterministicAcrossPoolWidths: the availability grid
+// is bit-identical between a serial run and a pool-wide run — same
+// plans, same placements, same availability metrics.
+func TestFaultsLadderDeterministicAcrossPoolWidths(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(1)
+	serial, err := DefaultSetup().RunFaults(quickFaultsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	pooled, err := DefaultSetup().RunFaults(quickFaultsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripFaultWallClock(serial)
+	stripFaultWallClock(pooled)
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Error("fault ladder differs between -parallel 1 and a 4-worker pool")
+	}
+	// The fixture must displace something, or the grid proves nothing.
+	displaced := 0
+	for _, cell := range serial.Cells {
+		displaced += cell.Result.Displaced
+	}
+	if displaced == 0 {
+		t.Error("fixture too weak: no cell displaced a VM")
+	}
+}
+
+// TestFaultsGridShape: the default ladder is rung-major over targets and
+// algorithms with a fault-free baseline first.
+func TestFaultsGridShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default ladder")
+	}
+	f, err := DefaultSetup().RunFaults(FaultsConfig{Arrivals: 2000, Duration: 16000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(DefaultFaultRungs(0)) * 2 * len(Algorithms)
+	if len(f.Cells) != wantCells {
+		t.Fatalf("%d cells, want %d", len(f.Cells), wantCells)
+	}
+	if f.Cells[0].Rung.MTBF != 0 {
+		t.Error("first rung should be the fault-free baseline")
+	}
+	for i, cell := range f.Cells {
+		if cell.Algorithm != Algorithms[i%len(Algorithms)] {
+			t.Fatalf("cell %d algorithm %s out of order", i, cell.Algorithm)
+		}
+		if cell.Result == nil {
+			t.Fatalf("cell %d has no result", i)
+		}
+		if cell.Rung.MTBF == 0 && cell.Result.Displaced != 0 {
+			t.Errorf("baseline cell %d displaced %d VMs", i, cell.Result.Displaced)
+		}
+	}
+	out := f.Render()
+	for _, want := range []string{"Availability ladder", "rung none", "rung calm", "rung storm", "NULB", "RISA-BF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q", want)
+		}
+	}
+}
+
+func TestFaultsConfigValidation(t *testing.T) {
+	bad := []FaultsConfig{
+		{Arrivals: -1},
+		{Duration: -5},
+		{Targets: []float64{0}},
+		{Rungs: []FaultRung{{Label: "x", MTBF: 100, MTTR: 0}}},
+		{Rungs: []FaultRung{{Label: "x", MTBF: -1, MTTR: 10}}},
+	}
+	for i, cfg := range bad {
+		if _, err := DefaultSetup().RunFaults(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestFaultCellKeepRunningVsEvict: the two recovery policies really
+// differ — with eviction the displaced counter moves; without it the
+// same cell keeps every VM in place.
+func TestFaultCellKeepRunningVsEvict(t *testing.T) {
+	cfg := sim.StreamConfig{MaxArrivals: 4000, Duration: 20000, Warmup: 5000, Window: 3000}
+	rung := FaultRung{Label: "smoke", MTBF: 4000, MTTR: 500}
+	keep, err := DefaultSetup().RunFaultCell("RISA", 0.6, rung, false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evict, err := DefaultSetup().RunFaultCell("RISA", 0.6, rung, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keep.Displaced != 0 {
+		t.Errorf("keep-running cell displaced %d VMs", keep.Displaced)
+	}
+	if evict.Displaced == 0 {
+		t.Error("evict cell displaced nothing")
+	}
+	// Every displaced VM resolves to exactly one of recovered or lost
+	// (DisplacedQueued is a detour marker, not a third outcome).
+	if evict.Recovered+evict.DisplacedLost != evict.Displaced {
+		t.Errorf("displacement outcomes %d+%d do not sum to %d",
+			evict.Recovered, evict.DisplacedLost, evict.Displaced)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"risa/internal/sched"
+	"risa/internal/faults"
 	"risa/internal/sim"
 	"risa/internal/workload"
 )
@@ -16,9 +16,18 @@ import (
 // must route *new* arrivals around the hole. The question is whether
 // RISA's pool tracking degrades more gracefully than the baselines'
 // first-fit search.
+//
+// The outage is expressed as a faults.Plan (the whole-rack special case
+// faults.RackFailure) consumed by the simulator's fault event loop —
+// the same abstraction the stochastic `-exp faults` availability ladder
+// generates plans for. The plan path replays bit-identically to the
+// injection closures this experiment used before the fault subsystem
+// existed (asserted by sim's TestRunFaultPlanMatchesInjections).
 type Resilience struct {
 	FailedRack     int
 	FailAt, HealAt int64
+	// Plan is the outage schedule every faulty run consumes.
+	Plan *faults.Plan
 	// Healthy and Faulty hold per-algorithm results without and with the
 	// injected failure.
 	Healthy, Faulty map[string]*sim.Result
@@ -36,44 +45,42 @@ func (s Setup) RunResilience() (*Resilience, error) {
 		FailAt:     lastArrival / 4,
 		HealAt:     lastArrival / 2,
 	}
+	out.Plan = faults.RackFailure(out.FailedRack, out.FailAt, out.HealAt)
 	out.Healthy, err = s.RunAll(tr)
 	if err != nil {
 		return nil, err
 	}
 	out.Faulty = make(map[string]*sim.Result, len(Algorithms))
-	for _, alg := range Algorithms {
-		st, err := s.NewState()
+	faultyResults := make([]*sim.Result, len(Algorithms))
+	errs := make([]error, len(Algorithms))
+	Engine{}.ForEach(len(Algorithms), func(i int) {
+		faultyResults[i], errs[i] = s.runFaulty(Algorithms[i], tr, out.Plan)
+	})
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s under the rack outage: %w", Algorithms[i], err)
 		}
-		sch, err := NewScheduler(alg, st)
-		if err != nil {
-			return nil, err
-		}
-		fail := func(failed bool) sim.Injection {
-			t := out.FailAt
-			if !failed {
-				t = out.HealAt
-			}
-			return sim.Injection{T: t, Do: func(state *sched.State) {
-				for _, b := range state.Cluster.Rack(out.FailedRack).Boxes() {
-					state.Cluster.SetBoxFailed(b, failed)
-				}
-			}}
-		}
-		runner, err := sim.NewRunner(st, sch, sim.Config{
-			Injections: []sim.Injection{fail(true), fail(false)},
-		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := runner.Run(tr)
-		if err != nil {
-			return nil, err
-		}
-		out.Faulty[alg] = res
+		out.Faulty[Algorithms[i]] = faultyResults[i]
 	}
 	return out, nil
+}
+
+// runFaulty replays the trace through one algorithm on a fresh
+// datacenter consuming the outage plan.
+func (s Setup) runFaulty(algorithm string, tr *workload.Trace, plan *faults.Plan) (*sim.Result, error) {
+	st, err := s.NewState()
+	if err != nil {
+		return nil, err
+	}
+	sch, err := NewScheduler(algorithm, st)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := sim.NewRunner(st, sch, sim.Config{Faults: plan})
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run(tr)
 }
 
 // Render draws the comparison.

@@ -116,6 +116,15 @@ func (a *Assignment) InterPod() bool {
 	return false
 }
 
+// OnFailedHardware reports whether any of the assignment's compute
+// placements sits on a box currently marked failed — the condition under
+// which the fault subsystem's eviction policy displaces the VM.
+func (a *Assignment) OnFailedHardware() bool {
+	return (!a.CPU.IsZero() && a.CPU.Box.Failed()) ||
+		(!a.RAM.IsZero() && a.RAM.Box.Failed()) ||
+		(!a.STO.IsZero() && a.STO.Box.Failed())
+}
+
 // Flows returns the assignment's non-nil flows.
 func (a *Assignment) Flows() []*network.Flow {
 	var out []*network.Flow
@@ -287,12 +296,27 @@ func (s *State) releaseResources(a *Assignment) {
 
 // Adopt moves src's contents into dst and retires src's emptied shell to
 // the pool. It is the hand-back half of the ReleaseVMKeep protocol: after
-// re-placing a VM, Rebalance adopts the fresh assignment into the record
-// its caller holds. src must not be used afterwards.
+// re-placing a VM, Rebalance and the fault subsystem's displacement adopt
+// the fresh assignment into the record their caller holds. src must not
+// be used afterwards.
+//
+// dst's (cleared) brick-share buffers are handed to the pooled shell
+// rather than dropped: without that swap every adoption would retire a
+// buffer-less record, and the next Schedule drawing it from the pool
+// would re-grow all three share slices — a per-displacement allocation
+// the fault path's zero-alloc contract (BenchmarkScheduleOneUnderFaults)
+// forbids.
 func (s *State) Adopt(dst, src *Assignment) {
+	cpuBuf := dst.CPU.Shares[:0]
+	ramBuf := dst.RAM.Shares[:0]
+	stoBuf := dst.STO.Shares[:0]
 	*dst = *src
-	// Detach src's buffers before pooling the shell: dst now owns them.
+	// Detach src's buffers before pooling the shell: dst now owns them,
+	// and the shell inherits dst's old buffers.
 	*src = Assignment{}
+	src.CPU.Shares = cpuBuf
+	src.RAM.Shares = ramBuf
+	src.STO.Shares = stoBuf
 	s.putAssignment(src)
 }
 

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"risa/internal/core"
 	"risa/internal/network"
 	"risa/internal/sched"
 	"risa/internal/topology"
@@ -30,6 +31,9 @@ func Conformance(t *testing.T, name string, mk Factory) {
 	t.Run(name+"/ChurnConservation", func(t *testing.T) { churnConservation(t, mk) })
 	t.Run(name+"/RespectsBoxFailure", func(t *testing.T) { respectsBoxFailure(t, mk) })
 	t.Run(name+"/InterleavedHygiene", func(t *testing.T) { interleavedHygiene(t, mk) })
+	t.Run(name+"/FailedBoxNeverPlaced", func(t *testing.T) { failedBoxNeverPlaced(t, mk) })
+	t.Run(name+"/HealedBoxReusable", func(t *testing.T) { healedBoxReusable(t, mk) })
+	t.Run(name+"/FaultInterleavedHygiene", func(t *testing.T) { faultInterleavedHygiene(t, mk) })
 }
 
 func newState(t *testing.T) *sched.State {
@@ -214,6 +218,238 @@ func interleavedHygiene(t *testing.T, mk Factory) {
 	// time, so every decision of one instance runs against the other's
 	// freshly used buffers.
 	il1, il2 := newRun(11), newRun(22)
+	for i := 0; i < steps; i++ {
+		step(il1, i)
+		step(il2, i)
+	}
+	for i := 0; i < steps; i++ {
+		if il1.sig[i] != ref1.sig[i] {
+			t.Fatalf("run 1 step %d: interleaved %q != isolated %q", i, il1.sig[i], ref1.sig[i])
+		}
+		if il2.sig[i] != ref2.sig[i] {
+			t.Fatalf("run 2 step %d: interleaved %q != isolated %q", i, il2.sig[i], ref2.sig[i])
+		}
+	}
+	checkAll(t, il1.st)
+	checkAll(t, il2.st)
+}
+
+// failedBoxNeverPlaced: under a churn of random failures and repairs, no
+// scheduler ever places a component onto a box that is failed at
+// decision time — including boxes it used moments earlier, whose warm
+// cursors and cached candidates are the adversarial case ("mid-decision"
+// state: whatever an algorithm buffered across decisions must not leak a
+// now-failed box into a placement).
+func failedBoxNeverPlaced(t *testing.T, mk Factory) {
+	st := newState(t)
+	before := snapshot(st)
+	s := mk(st)
+	rng := rand.New(rand.NewSource(13))
+	boxes := st.Cluster.Boxes()
+	var live []*sched.Assignment
+	for step := 0; step < 800; step++ {
+		switch rng.Intn(8) {
+		case 0: // fail a random box
+			st.Cluster.SetBoxFailed(boxes[rng.Intn(len(boxes))], true)
+		case 1: // heal a random box
+			st.Cluster.SetBoxFailed(boxes[rng.Intn(len(boxes))], false)
+		case 2: // release a random live VM (failed boxes included)
+			if len(live) > 0 {
+				i := rng.Intn(len(live))
+				s.Release(live[i])
+				live = append(live[:i], live[i+1:]...)
+			}
+		default:
+			vm := workload.VM{ID: step, Lifetime: 10, Req: units.Vec(
+				units.Amount(rng.Int63n(32)+1),
+				units.Amount(rng.Int63n(64)+1),
+				128)}
+			a, err := s.Schedule(vm)
+			if err != nil {
+				continue
+			}
+			for _, p := range []topology.Placement{a.CPU, a.RAM, a.STO} {
+				if !p.IsZero() && p.Box.Failed() {
+					t.Fatalf("step %d: VM %d placed onto failed %v", step, vm.ID, p.Box)
+				}
+			}
+			live = append(live, a)
+			// Adversarial: sometimes kill the box the scheduler just
+			// used, so its freshest cursor points at failed hardware.
+			if rng.Intn(4) == 0 {
+				st.Cluster.SetBoxFailed(a.CPU.Box, true)
+			}
+		}
+		if step%97 == 0 {
+			checkAll(t, st)
+		}
+	}
+	for _, a := range live {
+		s.Release(a)
+	}
+	for _, b := range boxes {
+		st.Cluster.SetBoxFailed(b, false)
+	}
+	if snapshot(st) != before {
+		t.Fatal("release + repair did not restore the pristine state")
+	}
+	checkAll(t, st)
+}
+
+// healedBoxReusable: a repaired box is indistinguishable from one that
+// never failed. A state that lived through an outage — placements made
+// before the failure and released into it, churn routed around the hole,
+// everything released, then repaired — must serve a fresh arrival
+// sequence bit-identically to a never-failed state: capacity, index
+// tiers and fabric fully restored.
+func healedBoxReusable(t *testing.T, mk Factory) {
+	signature := func(exercise bool) []string {
+		st := newState(t)
+		if exercise {
+			s := mk(st)
+			rng := rand.New(rand.NewSource(99))
+			place := func(n int) []*sched.Assignment {
+				var live []*sched.Assignment
+				for i := 0; i < n; i++ {
+					vm := workload.VM{ID: i, Lifetime: 10, Req: units.Vec(
+						units.Amount(rng.Int63n(32)+1),
+						units.Amount(rng.Int63n(64)+1),
+						128)}
+					if a, err := s.Schedule(vm); err == nil {
+						live = append(live, a)
+					}
+				}
+				return live
+			}
+			preOutage := place(60)
+			for _, ri := range []int{0, 1} {
+				for _, b := range st.Cluster.Rack(ri).Boxes() {
+					st.Cluster.SetBoxFailed(b, true)
+				}
+			}
+			// Departures into the outage: the freed capacity stays hidden
+			// until the repair.
+			for _, a := range preOutage {
+				s.Release(a)
+			}
+			// Churn around the hole, fully released again.
+			for _, a := range place(40) {
+				s.Release(a)
+			}
+			for _, ri := range []int{0, 1} {
+				for _, b := range st.Cluster.Rack(ri).Boxes() {
+					st.Cluster.SetBoxFailed(b, false)
+				}
+			}
+		}
+		// A fresh scheduler instance on the (healed or never-failed)
+		// state: placements must not depend on the state's history.
+		s := mk(st)
+		rng := rand.New(rand.NewSource(7))
+		var sig []string
+		for i := 0; i < 150; i++ {
+			vm := workload.VM{ID: 1000 + i, Lifetime: 10, Req: units.Vec(
+				units.Amount(rng.Int63n(32)+1),
+				units.Amount(rng.Int63n(64)+1),
+				128)}
+			a, err := s.Schedule(vm)
+			if err != nil {
+				sig = append(sig, "drop")
+				continue
+			}
+			sig = append(sig, fmt.Sprint(a.CPU.Box, a.RAM.Box, a.STO.Box))
+		}
+		checkAll(t, st)
+		return sig
+	}
+	healed, never := signature(true), signature(false)
+	for i := range never {
+		if healed[i] != never[i] {
+			t.Fatalf("fresh arrival %d: healed state placed %q, never-failed %q", i, healed[i], never[i])
+		}
+	}
+}
+
+// faultInterleavedHygiene is InterleavedHygiene over the fault paths:
+// the per-decision scripts also fail and heal boxes and displace VMs off
+// failed hardware (core.Displace — the eviction transaction the
+// simulator uses), and two instances alternating decision-by-decision
+// must still match their isolated references exactly.
+func faultInterleavedHygiene(t *testing.T, mk Factory) {
+	type run struct {
+		s    sched.Scheduler
+		st   *sched.State
+		rng  *rand.Rand
+		live []*sched.Assignment
+		sig  []string
+	}
+	newRun := func(seed int64) *run {
+		st := newState(t)
+		return &run{s: mk(st), st: st, rng: rand.New(rand.NewSource(seed))}
+	}
+	step := func(r *run, i int) {
+		boxes := r.st.Cluster.Boxes()
+		switch r.rng.Intn(8) {
+		case 0:
+			b := boxes[r.rng.Intn(len(boxes))]
+			r.st.Cluster.SetBoxFailed(b, true)
+			r.sig = append(r.sig, "fail "+b.String())
+			return
+		case 1:
+			b := boxes[r.rng.Intn(len(boxes))]
+			r.st.Cluster.SetBoxFailed(b, false)
+			r.sig = append(r.sig, "heal "+b.String())
+			return
+		case 2: // displace the first live VM stranded on failed hardware
+			for j, a := range r.live {
+				if !a.OnFailedHardware() {
+					continue
+				}
+				if core.Displace(r.st, r.s, a) {
+					r.sig = append(r.sig, fmt.Sprint("displaced", a.CPU.Box, a.RAM.Box, a.STO.Box))
+				} else {
+					// Lost: the record is emptied; pool it and drop it
+					// from the live set like the simulator does.
+					r.st.ReleaseVM(a)
+					r.live = append(r.live[:j], r.live[j+1:]...)
+					r.sig = append(r.sig, "displace-lost")
+				}
+				return
+			}
+			r.sig = append(r.sig, "nothing-stranded")
+			return
+		case 3:
+			if len(r.live) > 0 {
+				j := r.rng.Intn(len(r.live))
+				r.s.Release(r.live[j])
+				r.live = append(r.live[:j], r.live[j+1:]...)
+				r.sig = append(r.sig, "release")
+				return
+			}
+			fallthrough
+		default:
+			vm := workload.VM{ID: i, Lifetime: 10, Req: units.Vec(
+				units.Amount(r.rng.Int63n(32)+1),
+				units.Amount(r.rng.Int63n(64)+1),
+				128)}
+			a, err := r.s.Schedule(vm)
+			if err != nil {
+				r.sig = append(r.sig, "drop")
+				return
+			}
+			r.live = append(r.live, a)
+			r.sig = append(r.sig, fmt.Sprint(a.CPU.Box, a.RAM.Box, a.STO.Box))
+		}
+	}
+	const steps = 400
+	ref1, ref2 := newRun(31), newRun(32)
+	for i := 0; i < steps; i++ {
+		step(ref1, i)
+	}
+	for i := 0; i < steps; i++ {
+		step(ref2, i)
+	}
+	il1, il2 := newRun(31), newRun(32)
 	for i := 0; i < steps; i++ {
 		step(il1, i)
 		step(il2, i)

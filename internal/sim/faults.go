@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"time"
+
+	"risa/internal/core"
+	"risa/internal/faults"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/workload"
+)
+
+// resetFaultCounts prepares the per-box outage refcounts for one run.
+// Tiers overlap — a box can be inside a box-tier outage and a rack- or
+// pod-tier outage at once — so a box is healthy only when no scope
+// covering it is down; a plain boolean toggle would let the first
+// repair un-fail a box another tier still holds down. Ad-hoc Injections
+// bypass the counts (they call SetBoxFailed directly, as always).
+func (r *Runner) resetFaultCounts() {
+	if r.plan == nil {
+		return
+	}
+	n := len(r.st.Cluster.Boxes())
+	if cap(r.downCount) < n {
+		r.downCount = make([]int, n)
+		return
+	}
+	r.downCount = r.downCount[:n]
+	for i := range r.downCount {
+		r.downCount[i] = 0
+	}
+}
+
+// applyFault applies one plan event's scope to the cluster through the
+// refcounts. Repairs that bring a box's count to zero re-seed both
+// topology index tiers exactly (topology.SetBoxFailed), so post-repair
+// scheduling is bit-identical to a never-failed cluster.
+func (r *Runner) applyFault(ev faults.Event) {
+	cl := r.st.Cluster
+	switch ev.Tier {
+	case faults.BoxTier:
+		r.noteFault(cl.Rack(ev.Rack).Boxes()[ev.Box], ev.Repair)
+	case faults.RackTier:
+		for _, b := range cl.Rack(ev.Rack).Boxes() {
+			r.noteFault(b, ev.Repair)
+		}
+	case faults.PodTier:
+		lo, hi := r.plan.PodRacks(ev.Pod, cl.NumRacks())
+		for ri := lo; ri < hi; ri++ {
+			for _, b := range cl.Rack(ri).Boxes() {
+				r.noteFault(b, ev.Repair)
+			}
+		}
+	}
+}
+
+// noteFault adjusts one box's outage refcount and toggles the topology
+// failure flag on the 0↔positive edges.
+func (r *Runner) noteFault(b *topology.Box, repair bool) {
+	i := b.Rack()*r.st.Cluster.Config().BoxesPerRack() + b.Index()
+	if repair {
+		if r.downCount[i] > 0 {
+			r.downCount[i]--
+		}
+		if r.downCount[i] == 0 {
+			r.st.Cluster.SetBoxFailed(b, false)
+		}
+		return
+	}
+	r.downCount[i]++
+	r.st.Cluster.SetBoxFailed(b, true)
+}
+
+// sameInstantFaultPending reports whether the queue's next event is
+// another fault event of the same instant — the condition under which
+// the event loops defer eviction and queue drains until the whole burst
+// has been applied.
+func sameInstantFaultPending(h *eventQueue, t int64) bool {
+	return h.Len() > 0 && h.Min().t == t && h.Min().kind == fault
+}
+
+// evictHooks customizes evictDisplaced for the two event loops' different
+// bookkeeping. Any hook may be nil.
+type evictHooks struct {
+	// before fires per displaced VM while its old holdings are still
+	// attached (Run detaches the circuits from the power accountant).
+	before func(a *sched.Assignment)
+	// after fires per displaced VM once re-placement was attempted; on
+	// recovery a holds the new placement, d its Schedule wall clock.
+	after func(a *sched.Assignment, recovered bool, d time.Duration)
+	// lost fires for VMs that could not be re-placed, after their record
+	// was pooled and their departure event neutralized.
+	lost func(vm workload.VM)
+}
+
+// evictDisplaced scans the pending-event queue for departures whose
+// assignments sit on failed hardware and re-places each through
+// core.Displace. A recovered VM keeps its departure event — the record
+// the event references now holds the new placement, and the pooled
+// record of the transaction recycles, so eviction stays off the
+// allocator. An unrecoverable VM's record is pooled and its departure
+// event neutralized into a ghost (a = nil) that the event loops skip;
+// the hooks decide the VM's fate (drop, or the retry queue).
+//
+// VMs whose departure is due at the failure instant itself (e.t == now)
+// are left alone: they are leaving this tick anyway — faults sort
+// before departures, so the pending departure is still visible here —
+// and displacing (or killing) a VM at the end of its lifetime would
+// only distort the displacement counters.
+//
+// The scan order is the queue's array order: deterministic for a given
+// event history, which is all bit-identical replay needs.
+func (r *Runner) evictDisplaced(h *eventQueue, now int64, hooks evictHooks) {
+	for i := range h.s {
+		e := &h.s[i]
+		if e.kind != departure || e.a == nil || e.t <= now || !e.a.OnFailedHardware() {
+			continue
+		}
+		if hooks.before != nil {
+			hooks.before(e.a)
+		}
+		start := time.Now()
+		recovered := core.Displace(r.st, r.sch, e.a)
+		d := time.Since(start)
+		if hooks.after != nil {
+			hooks.after(e.a, recovered, d)
+		}
+		if !recovered {
+			vm := e.vm
+			r.st.ReleaseVM(e.a) // holdings already released: pools the shell
+			e.a = nil
+			if hooks.lost != nil {
+				hooks.lost(vm)
+			}
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"risa/internal/core"
+	"risa/internal/faults"
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// faultRunner builds a RISA runner on the default datacenter with the
+// given fault configuration.
+func faultRunner(t testing.TB, cfg Config) (*sched.State, *Runner) {
+	t.Helper()
+	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(st, core.New(st), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, r
+}
+
+func TestNewRunnerValidatesFaultConfig(t *testing.T) {
+	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An out-of-range plan is rejected up front.
+	bad := &faults.Plan{Events: []faults.Event{{T: 0, Tier: faults.RackTier, Rack: 99}}}
+	if _, err := NewRunner(st, core.New(st), Config{Faults: bad}); err == nil {
+		t.Error("out-of-range plan accepted")
+	}
+	// Evict without a plan is meaningless.
+	if _, err := NewRunner(st, core.New(st), Config{Evict: true}); err == nil {
+		t.Error("Evict without a fault plan accepted")
+	}
+}
+
+// TestRunFaultPlanMatchesInjections: a rack-outage plan must reproduce
+// the injection-based equivalent bit for bit — the property the
+// resilience experiment's rewrite onto the plan abstraction rests on.
+func TestRunFaultPlanMatchesInjections(t *testing.T) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.N = 500
+	tr, err := workload.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tr.VMs[tr.Len()-1].Arrival
+	fail := func(failed bool, at int64) Injection {
+		return Injection{T: at, Do: func(st *sched.State) {
+			for _, b := range st.Cluster.Rack(2).Boxes() {
+				st.Cluster.SetBoxFailed(b, failed)
+			}
+		}}
+	}
+	_, withInj := faultRunner(t, Config{Injections: []Injection{
+		fail(true, last/4), fail(false, last/2),
+	}})
+	a, err := withInj.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, withPlan := faultRunner(t, Config{Faults: faults.RackFailure(2, last/4, last/2)})
+	b, err := withPlan.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SchedulingTime, b.SchedulingTime = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("plan result differs from injection result:\n%+v\nvs\n%+v", a, b)
+	}
+	// The fixture must actually bite: the same trace without the outage
+	// produces a different result (placements shifted off rack 2).
+	_, healthy := faultRunner(t, Config{})
+	c, err := healthy.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SchedulingTime = 0
+	if reflect.DeepEqual(a, c) {
+		t.Error("fixture too weak: the outage changed nothing")
+	}
+}
+
+// streamFor yields a stationary synthetic arrival stream dense enough
+// that the default cluster holds a meaningful resident population.
+func streamFor(t testing.TB) workload.Stream {
+	t.Helper()
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.LifetimeStep = 0
+	cfg.MeanInterarrival = 2
+	s, err := cfg.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRunStreamFaultsNoEvict: resident VMs ride out an outage in place —
+// nothing is displaced, the capacity dips and returns, and the state
+// drains to pristine.
+func TestRunStreamFaultsNoEvict(t *testing.T) {
+	plan := faults.RackFailure(0, 400, 900)
+	st, r := faultRunner(t, Config{Faults: plan})
+	res, err := r.RunStream(streamFor(t), StreamConfig{
+		MaxArrivals: 2000, Warmup: 200, Window: 200, Drain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Displaced != 0 || res.Recovered != 0 || res.DisplacedLost != 0 {
+		t.Errorf("no-evict run displaced %d/%d/%d VMs", res.Displaced, res.Recovered, res.DisplacedLost)
+	}
+	for _, k := range units.Resources() {
+		if st.Cluster.TotalFree(k) != st.Cluster.TotalCapacity(k) {
+			t.Errorf("%v not pristine after drain", k)
+		}
+	}
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := st.Fabric.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunStreamEviction: with Evict, VMs resident on the failed rack are
+// displaced; on the default cluster the 17 healthy racks absorb them
+// all, their departure events stay valid, and the run drains pristine
+// after the repair.
+func TestRunStreamEviction(t *testing.T) {
+	plan := faults.RackFailure(0, 400, 900)
+	st, r := faultRunner(t, Config{Faults: plan, Evict: true})
+	res, err := r.RunStream(streamFor(t), StreamConfig{
+		MaxArrivals: 2000, Warmup: 200, Window: 200, Drain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Displaced == 0 {
+		t.Fatal("fixture too weak: nothing was resident on the failed rack")
+	}
+	if res.Recovered != res.Displaced || res.DisplacedLost != 0 || res.DisplacedQueued != 0 {
+		t.Errorf("displaced %d, recovered %d, lost %d, queued %d — a near-empty cluster must absorb all",
+			res.Displaced, res.Recovered, res.DisplacedLost, res.DisplacedQueued)
+	}
+	if res.ReplaceSamples == 0 {
+		t.Error("no re-placement latency samples")
+	}
+	var winDisplaced, winRecovered int
+	for _, w := range res.Windows {
+		winDisplaced += w.Displaced
+		winRecovered += w.Recovered
+	}
+	if winDisplaced != res.Displaced || winRecovered != res.Recovered {
+		t.Errorf("windows count %d/%d displaced/recovered, run counts %d/%d",
+			winDisplaced, winRecovered, res.Displaced, res.Recovered)
+	}
+	for _, k := range units.Resources() {
+		if st.Cluster.TotalFree(k) != st.Cluster.TotalCapacity(k) {
+			t.Errorf("%v not pristine after drain", k)
+		}
+	}
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := st.Fabric.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunStreamEvictionLoss: when the whole cluster fails there is
+// nowhere to go — every resident VM is lost, its departure event turns
+// into a ghost, and the repaired cluster keeps serving fresh arrivals.
+func TestRunStreamEvictionLoss(t *testing.T) {
+	plan := &faults.Plan{Events: []faults.Event{}}
+	for rack := 0; rack < topology.DefaultConfig().Racks; rack++ {
+		plan.Events = append(plan.Events, faults.Event{T: 500, Tier: faults.RackTier, Rack: rack})
+	}
+	for rack := 0; rack < topology.DefaultConfig().Racks; rack++ {
+		plan.Events = append(plan.Events,
+			faults.Event{T: 600, Tier: faults.RackTier, Rack: rack, Repair: true})
+	}
+	st, r := faultRunner(t, Config{Faults: plan, Evict: true})
+	res, err := r.RunStream(streamFor(t), StreamConfig{
+		MaxArrivals: 2000, Warmup: 200, Window: 200, Drain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Displaced == 0 || res.DisplacedLost != res.Displaced || res.Recovered != 0 {
+		t.Errorf("displaced %d, lost %d, recovered %d — total failure must lose all",
+			res.Displaced, res.DisplacedLost, res.Recovered)
+	}
+	// Life goes on after the repair: the post-outage accept count grows.
+	if res.TotalAccepted <= res.Displaced {
+		t.Error("no arrivals accepted after the repair")
+	}
+	for _, k := range units.Resources() {
+		if st.Cluster.TotalFree(k) != st.Cluster.TotalCapacity(k) {
+			t.Errorf("%v not pristine after drain", k)
+		}
+	}
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunStreamEvictionRetryQueue: displaced VMs that cannot be
+// re-placed park on the retry queue instead of dying, and the repair
+// drains them back in.
+func TestRunStreamEvictionRetryQueue(t *testing.T) {
+	plan := &faults.Plan{Events: []faults.Event{}}
+	racks := topology.DefaultConfig().Racks
+	for rack := 0; rack < racks; rack++ {
+		plan.Events = append(plan.Events, faults.Event{T: 500, Tier: faults.RackTier, Rack: rack})
+	}
+	for rack := 0; rack < racks; rack++ {
+		plan.Events = append(plan.Events,
+			faults.Event{T: 600, Tier: faults.RackTier, Rack: rack, Repair: true})
+	}
+	st, r := faultRunner(t, Config{Faults: plan, Evict: true, RetryDropped: true})
+	res, err := r.RunStream(streamFor(t), StreamConfig{
+		MaxArrivals: 2000, Warmup: 200, Window: 200, Drain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DisplacedQueued == 0 || res.DisplacedLost != 0 {
+		t.Errorf("queued %d, lost %d — retry must park displaced VMs", res.DisplacedQueued, res.DisplacedLost)
+	}
+	if res.RetrySucceeded == 0 {
+		t.Error("repair never drained the queue")
+	}
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunStreamFaultDeterminism: two identically configured fault runs
+// report identical metrics (wall-clock fields excluded), including under
+// a generated stochastic plan.
+func TestRunStreamFaultDeterminism(t *testing.T) {
+	tcfg := topology.DefaultConfig()
+	plan, err := faults.Generate(faults.GenConfig{
+		Seed: 7, Horizon: 4000,
+		Racks: tcfg.Racks, BoxesPerRack: tcfg.BoxesPerRack(),
+		Box:  faults.TierRates{MTBF: 20000, MTTR: 300},
+		Rack: faults.TierRates{MTBF: 150000, MTTR: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *SteadyState {
+		_, r := faultRunner(t, Config{Faults: plan, Evict: true})
+		res, err := r.RunStream(streamFor(t), StreamConfig{
+			MaxArrivals: 2000, Warmup: 200, Window: 200, Drain: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.SchedulingTime, res.WallTime = 0, 0
+		res.LatencyP50, res.LatencyP95, res.LatencyP99 = 0, 0, 0
+		res.ReplaceP50, res.ReplaceP95, res.ReplaceP99 = 0, 0, 0
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("fault runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Displaced == 0 {
+		t.Error("fixture too weak: the generated plan displaced nothing")
+	}
+}
+
+// TestOverlappingTierOutages: a box covered by two outage scopes at
+// once (its own box-tier failure and its rack's failure) stays down
+// until the LAST covering scope is repaired — the per-box refcounts
+// behind applyFault. Before the refcounts, the box-tier repair at t=300
+// un-failed the box mid-rack-outage.
+func TestOverlappingTierOutages(t *testing.T) {
+	plan := &faults.Plan{Events: []faults.Event{
+		{T: 100, Tier: faults.BoxTier, Rack: 0, Box: 0},
+		{T: 200, Tier: faults.RackTier, Rack: 0},
+		{T: 300, Repair: true, Tier: faults.BoxTier, Rack: 0, Box: 0},
+		{T: 800, Repair: true, Tier: faults.RackTier, Rack: 0},
+	}}
+	var during, after bool
+	probe := func(out *bool) func(st *sched.State) {
+		return func(st *sched.State) { *out = st.Cluster.Rack(0).Boxes()[0].Failed() }
+	}
+	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(st, core.New(st), Config{
+		Faults: plan,
+		Injections: []Injection{
+			{T: 350, Do: probe(&during)},
+			{T: 900, Do: probe(&after)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &workload.Trace{Name: "probe", VMs: []workload.VM{
+		{ID: 0, Arrival: 0, Lifetime: 1000, Req: units.Vec(1, 1, 1)},
+	}}
+	if _, err := r.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !during {
+		t.Error("box un-failed by the box-tier repair while its rack was still down")
+	}
+	if after {
+		t.Error("box still failed after the last covering repair")
+	}
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvictionSparesSameInstantDepartures: a VM whose departure is due
+// at the failure instant itself is leaving anyway — it must not be
+// displaced, killed or counted.
+func TestEvictionSparesSameInstantDepartures(t *testing.T) {
+	// The VM arrives at 0 and lives exactly until the whole-cluster
+	// outage at t=100; eviction would have to kill it (nowhere to go).
+	plan := &faults.Plan{}
+	racks := topology.DefaultConfig().Racks
+	for rack := 0; rack < racks; rack++ {
+		plan.Events = append(plan.Events, faults.Event{T: 100, Tier: faults.RackTier, Rack: rack})
+	}
+	for rack := 0; rack < racks; rack++ {
+		plan.Events = append(plan.Events,
+			faults.Event{T: 150, Repair: true, Tier: faults.RackTier, Rack: rack})
+	}
+	st, r := faultRunner(t, Config{Faults: plan, Evict: true})
+	tr := &workload.Trace{Name: "same-instant", VMs: []workload.VM{
+		{ID: 0, Arrival: 0, Lifetime: 100, Req: units.Vec(8, 16, 128)},
+	}}
+	res, err := r.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Displaced != 0 || res.DisplacedLost != 0 {
+		t.Errorf("same-instant departure displaced %d / lost %d, want 0/0", res.Displaced, res.DisplacedLost)
+	}
+	if res.Scheduled != 1 || res.Dropped != 0 {
+		t.Errorf("scheduled %d dropped %d, want 1/0", res.Scheduled, res.Dropped)
+	}
+	for _, k := range units.Resources() {
+		if st.Cluster.TotalFree(k) != st.Cluster.TotalCapacity(k) {
+			t.Errorf("%v not pristine after the run", k)
+		}
+	}
+}
+
+// TestDisplacedRequeueCountsOnce: with Evict+RetryDropped, a VM that is
+// displaced, parked on the retry queue and re-placed after the repair
+// counts as ONE acceptance (at its arrival) plus one recovery — not
+// two acceptances.
+func TestDisplacedRequeueCountsOnce(t *testing.T) {
+	racks := topology.DefaultConfig().Racks
+	plan := &faults.Plan{}
+	for rack := 0; rack < racks; rack++ {
+		plan.Events = append(plan.Events, faults.Event{T: 50, Tier: faults.RackTier, Rack: rack})
+	}
+	for rack := 0; rack < racks; rack++ {
+		plan.Events = append(plan.Events,
+			faults.Event{T: 60, Repair: true, Tier: faults.RackTier, Rack: rack})
+	}
+	_, r := faultRunner(t, Config{Faults: plan, Evict: true, RetryDropped: true})
+	// One resident VM displaced by the total outage at t=50, re-admitted
+	// by the repair at t=60; a second arrival keeps the run going.
+	tr := &workload.Trace{Name: "requeue", VMs: []workload.VM{
+		{ID: 0, Arrival: 0, Lifetime: 100, Req: units.Vec(8, 16, 128)},
+		{ID: 1, Arrival: 200, Lifetime: 10, Req: units.Vec(8, 16, 128)},
+	}}
+	res, err := r.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduled != 2 {
+		t.Errorf("scheduled %d, want 2 (a recovery is not a second acceptance)", res.Scheduled)
+	}
+	if res.Displaced != 1 || res.Recovered != 1 || res.DisplacedLost != 0 {
+		t.Errorf("displaced/recovered/lost = %d/%d/%d, want 1/1/0",
+			res.Displaced, res.Recovered, res.DisplacedLost)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("dropped %d, want 0", res.Dropped)
+	}
+}
+
+// TestEvictDisplacedSkipsHealthyAndGhosts exercises the queue scan
+// directly: only departures on failed hardware are touched.
+func TestEvictDisplacedSkipsHealthyAndGhosts(t *testing.T) {
+	st, r := faultRunner(t, Config{})
+	var h eventQueue
+	a1, err := r.sch.Schedule(workload.VM{ID: 1, Lifetime: 10, Req: units.Vec(8, 16, 128)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Push(event{t: 10, kind: departure, seq: 0, vm: workload.VM{ID: 1, Lifetime: 10}, a: a1})
+	h.Push(event{t: 11, kind: departure, seq: 1, a: nil}) // ghost
+	h.Push(event{t: 12, kind: fault, seq: 2})
+	var touched int
+	r.evictDisplaced(&h, 0, evictHooks{
+		after: func(_ *sched.Assignment, _ bool, _ time.Duration) { touched++ },
+	})
+	if touched != 0 {
+		t.Errorf("healthy departure displaced %d times", touched)
+	}
+	// Fail the VM's CPU rack: now exactly one displacement.
+	for _, b := range st.Cluster.Rack(a1.CPU.Box.Rack()).Boxes() {
+		st.Cluster.SetBoxFailed(b, true)
+	}
+	r.evictDisplaced(&h, 0, evictHooks{
+		after: func(a *sched.Assignment, recovered bool, _ time.Duration) {
+			touched++
+			if !recovered {
+				t.Error("displacement must recover on a near-empty cluster")
+			}
+			if a.OnFailedHardware() {
+				t.Error("recovered assignment still on failed hardware")
+			}
+		},
+	})
+	if touched != 1 {
+		t.Errorf("displaced %d, want 1", touched)
+	}
+}

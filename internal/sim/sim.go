@@ -1,13 +1,15 @@
 // Package sim is the discrete-event simulator that drives one scheduling
 // algorithm over one workload trace against one datacenter state.
 //
-// Events are VM arrivals (from the trace) and departures (scheduled when a
-// VM is placed). Between events the simulator integrates the
-// time-weighted signals the paper reports: compute utilization per
-// resource (§5.1's 64.66/65.11/31.72 %), intra- and inter-rack network
-// utilization (Figure 8), and optical power (Figure 9). Departures at the
-// same timestamp are processed before arrivals so releasing VMs make room
-// for arriving ones.
+// Events are VM arrivals (from the trace), departures (scheduled when a
+// VM is placed), ad-hoc injections and fault-plan events (hardware
+// failing and recovering, see Config.Faults and DESIGN.md §10). Between
+// events the simulator integrates the time-weighted signals the paper
+// reports: compute utilization per resource (§5.1's 64.66/65.11/31.72 %),
+// intra- and inter-rack network utilization (Figure 8), and optical power
+// (Figure 9). Injections and faults at a timestamp are processed before
+// its departures, and departures before arrivals, so releasing VMs make
+// room for arriving ones.
 //
 // One simulated time unit is modeled as one second for energy accounting;
 // the paper leaves the unit unspecified and only relative comparisons
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"risa/internal/faults"
 	"risa/internal/metrics"
 	"risa/internal/optics"
 	"risa/internal/power"
@@ -30,12 +33,17 @@ import (
 // integration.
 const SecondsPerTimeUnit = 1.0
 
-// eventKind orders simultaneous events: injected faults fire first, then
-// departures free resources, then arrivals claim them.
+// eventKind orders simultaneous events: ad-hoc injections fire first,
+// then fault-plan events, then departures free resources, then arrivals
+// claim them. Plan events outrank departures so a VM departing at the
+// exact instant its box fails still releases into a failed box (the
+// deferred-capacity path), matching the order the injection-based
+// resilience experiment always used.
 type eventKind int
 
 const (
 	inject eventKind = iota
+	fault
 	departure
 	arrival
 )
@@ -45,14 +53,15 @@ type event struct {
 	t    int64
 	kind eventKind
 	seq  int // tie-break: FIFO among equal (t, kind)
+	fx   int // fault only: index into the runner's fault plan
 	vm   workload.VM
 	a    *sched.Assignment     // departure only
 	do   func(st *sched.State) // inject only
 }
 
 // Less orders events by (time, kind, sequence): earlier times first, then
-// kind order (inject < departure < arrival), then FIFO. It is the ordering
-// the event queue (an eventQueue, see heap4.go) pops by.
+// kind order (inject < fault < departure < arrival), then FIFO. It is the
+// ordering the event queue (an eventQueue, see heap4.go) pops by.
 func (e event) Less(o event) bool {
 	if e.t != o.t {
 		return e.t < o.t
@@ -69,6 +78,15 @@ func (e event) Less(o event) bool {
 // the vacated slot, so a departed VM's assignment is unreachable the
 // moment its departure fires.
 type eventQueue = heap4[event]
+
+// queuedVM is one retry-queue entry. displaced marks a VM that was
+// already accepted at its arrival and then evicted off failed hardware:
+// placing it again is a recovery, not a second acceptance, and losing
+// it for good counts as DisplacedLost rather than a drop.
+type queuedVM struct {
+	vm        workload.VM
+	displaced bool
+}
 
 // Result aggregates everything one run produces. All percentages are in
 // [0, 100].
@@ -124,6 +142,15 @@ type Result struct {
 	Enqueued       int
 	RetrySucceeded int
 	MeanWait       float64
+
+	// Fault statistics (see Config.Faults/Evict). Displaced counts VMs
+	// evicted off failed hardware; Recovered those re-placed elsewhere
+	// (immediately, or later from the retry queue — never a second
+	// acceptance in Scheduled); DisplacedLost those gone for good. All
+	// zero when eviction is off — VMs then ride out the outage in place.
+	Displaced     int
+	Recovered     int
+	DisplacedLost int
 }
 
 // Sample is one point of the optional utilization/power time series.
@@ -160,6 +187,19 @@ type Config struct {
 	// that cannot be placed wait, and every departure retries the queue
 	// head-first. A waiting VM's lifetime starts when it is placed.
 	RetryDropped bool
+	// Faults is an optional fault plan merged into the event loop: each
+	// event toggles box failure over its scope (box, rack or pod) at its
+	// timestamp, between any ad-hoc Injections and the departures of the
+	// same instant. Both Run and RunStream consume it.
+	Faults *faults.Plan
+	// Evict, with Faults, activates displaced-VM recovery: when hardware
+	// fails, VMs resident on it are evicted and re-placed through the
+	// scheduler's own policy (core.Displace); a VM that cannot be
+	// re-placed is lost — or parks on the retry queue when RetryDropped
+	// is also set. Without Evict, resident VMs ride out the outage in
+	// place (their circuits are established) and only new arrivals route
+	// around the hole.
+	Evict bool
 }
 
 // Runner binds a scheduler and a state and runs traces.
@@ -170,6 +210,9 @@ type Runner struct {
 	sampleEvery int64
 	injections  []Injection
 	retry       bool
+	plan        *faults.Plan
+	evict       bool
+	downCount   []int // per-box overlapping-outage refcounts (faults.go)
 }
 
 // NewRunner builds a Runner. The scheduler must be bound to st.
@@ -190,11 +233,21 @@ func NewRunner(st *sched.State, sch sched.Scheduler, cfg Config) (*Runner, error
 			return nil, fmt.Errorf("sim: injection %d invalid (t=%d, do=%v)", i, inj.T, inj.Do != nil)
 		}
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(st.Cluster.NumRacks(), st.Cluster.Config().BoxesPerRack()); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Evict && cfg.Faults == nil {
+		return nil, fmt.Errorf("sim: Evict requires a fault plan")
+	}
 	return &Runner{
 		st: st, sch: sch, model: m,
 		sampleEvery: cfg.SampleEvery,
 		injections:  cfg.Injections,
 		retry:       cfg.RetryDropped,
+		plan:        cfg.Faults,
+		evict:       cfg.Evict,
 	}, nil
 }
 
@@ -220,6 +273,12 @@ func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 		h.Push(event{t: inj.T, kind: inject, seq: seq, do: inj.Do})
 		seq++
 	}
+	if r.plan != nil {
+		for i := range r.plan.Events {
+			h.Push(event{t: r.plan.Events[i].T, kind: fault, seq: seq, fx: i})
+			seq++
+		}
+	}
 
 	var utilW [units.NumResources]metrics.TimeWeighted
 	var intraW, interW, powerW metrics.TimeWeighted
@@ -227,8 +286,13 @@ func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 	var lastT int64
 	resident := 0
 	nextSample := int64(0)
-	var waiting []workload.VM // retry queue (FIFO), arrival-stamped
+	var waiting []queuedVM // retry queue (FIFO), arrival-stamped
 	var waitSum float64
+	// Same-instant fault events form one atomic burst: all of them apply
+	// before any eviction or queue drain, so a correlated outage cannot
+	// leak VMs onto hardware that fails in the same tick.
+	var burstFail, burstRepair bool
+	r.resetFaultCounts()
 
 	place := func(vm workload.VM, now int64) bool {
 		start := time.Now()
@@ -258,13 +322,19 @@ func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 	}
 	drainQueue := func(now int64) {
 		for len(waiting) > 0 {
-			vm := waiting[0]
-			if !place(vm, now) {
+			q := waiting[0]
+			if !place(q.vm, now) {
 				return // FIFO: the head blocks the rest
 			}
 			waiting = waiting[1:]
 			res.RetrySucceeded++
-			waitSum += float64(now - vm.Arrival)
+			waitSum += float64(now - q.vm.Arrival)
+			if q.displaced {
+				// place counted a second acceptance for a VM already
+				// scheduled at its arrival; reclassify it as a recovery.
+				res.Scheduled--
+				res.Recovered++
+			}
 		}
 	}
 
@@ -318,7 +388,59 @@ func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 			if r.retry {
 				drainQueue(e.t) // repairs may free capacity
 			}
+		case fault:
+			ev := r.plan.Events[e.fx]
+			r.applyFault(ev)
+			if ev.Repair {
+				burstRepair = true
+			} else {
+				burstFail = true
+			}
+			if sameInstantFaultPending(&h, e.t) {
+				break // finish the whole same-instant burst first
+			}
+			if r.evict && burstFail {
+				r.evictDisplaced(&h, e.t, evictHooks{
+					// The accountant holds the evicted VM's circuits;
+					// swap them for the re-placement's (Eq1EnergyJ skips
+					// evicted circuits — their lifetime is cut short).
+					before: func(a *sched.Assignment) {
+						for _, fl := range a.Flows() {
+							acct.Remove(fl)
+						}
+					},
+					after: func(a *sched.Assignment, recovered bool, _ time.Duration) {
+						res.Displaced++
+						if recovered {
+							res.Recovered++
+							for _, fl := range a.Flows() {
+								acct.Add(fl)
+							}
+						}
+					},
+					lost: func(vm workload.VM) {
+						resident--
+						if r.retry {
+							// The displaced VM re-enters the queue now:
+							// its wait is measured from the eviction and
+							// its lifetime restarts when re-placed.
+							vm.Arrival = e.t
+							waiting = append(waiting, queuedVM{vm: vm, displaced: true})
+							res.Enqueued++
+						} else {
+							res.DisplacedLost++
+						}
+					},
+				})
+			}
+			if r.retry && burstRepair {
+				drainQueue(e.t) // repairs free capacity
+			}
+			burstFail, burstRepair = false, false
 		case departure:
+			if e.a == nil {
+				break // ghost: the VM was displaced and lost or re-queued
+			}
 			life := time.Duration(float64(e.vm.Lifetime) * SecondsPerTimeUnit * float64(time.Second))
 			if fl := e.a.CPURAMFlow; fl != nil {
 				acct.Remove(fl)
@@ -336,14 +458,14 @@ func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 		case arrival:
 			if r.retry && len(waiting) > 0 {
 				// FIFO fairness: queued VMs go first.
-				waiting = append(waiting, e.vm)
+				waiting = append(waiting, queuedVM{vm: e.vm})
 				res.Enqueued++
 				drainQueue(e.t)
 				break
 			}
 			if !place(e.vm, e.t) {
 				if r.retry {
-					waiting = append(waiting, e.vm)
+					waiting = append(waiting, queuedVM{vm: e.vm})
 					res.Enqueued++
 				} else {
 					res.Dropped++
@@ -356,7 +478,13 @@ func (r *Runner) Run(tr *workload.Trace) (*Result, error) {
 	if r.sampleEvery > 0 && (len(res.Samples) == 0 || res.Samples[len(res.Samples)-1].T != lastT) {
 		res.Samples = append(res.Samples, snapshot(lastT))
 	}
-	res.Dropped += len(waiting) // still queued at the end: never placed
+	for _, q := range waiting { // still queued at the end: never placed
+		if q.displaced {
+			res.DisplacedLost++ // was accepted once; its re-admission failed
+		} else {
+			res.Dropped++
+		}
+	}
 	if res.RetrySucceeded > 0 {
 		res.MeanWait = waitSum / float64(res.RetrySucceeded)
 	}

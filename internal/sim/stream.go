@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"risa/internal/sched"
 	"risa/internal/units"
 	"risa/internal/workload"
 )
@@ -68,10 +69,19 @@ type WindowStats struct {
 	// Start and End delimit the window, [Start, End).
 	Start, End int64
 	// Arrivals, Accepted and Dropped count the VMs that arrived inside
-	// the window.
+	// the window. Under the retry queue, Accepted counts placements that
+	// happened inside the window (a queued arrival may be accepted in a
+	// later window than it arrived in) and queued-but-unplaced arrivals
+	// count in neither bucket, so Accepted+Dropped may differ from
+	// Arrivals.
 	Arrivals, Accepted, Dropped int
+	// Displaced and Recovered count the window's fault evictions and the
+	// re-placements (attributed to the window the recovery happened in;
+	// see Config.Evict).
+	Displaced, Recovered int
 	// AvgUtil is the time-weighted compute utilization per resource over
-	// the window, in percent.
+	// the window, in percent. Capacity hidden by an active failure counts
+	// as used — the denominator stays the nameplate capacity.
 	AvgUtil [units.NumResources]float64
 }
 
@@ -105,9 +115,38 @@ type SteadyState struct {
 
 	// Placement-decision latency percentiles over the measured phase,
 	// estimated from a fixed-size reservoir of LatencySamples
-	// observations.
+	// observations. Only direct arrival-time decisions are sampled;
+	// retry-queue drains are not.
 	LatencyP50, LatencyP95, LatencyP99 time.Duration
 	LatencySamples                     int
+
+	// Fault/availability counters (zero without a fault plan; see
+	// Config.Faults/Evict). Displaced counts VMs evicted off failed
+	// hardware over the whole run, Recovered the subset re-placed
+	// (immediately, or later from the retry queue — a recovery never
+	// counts as a second acceptance), DisplacedLost those gone for good,
+	// DisplacedQueued those that took the retry-queue detour. At the end
+	// of a run Displaced == Recovered + DisplacedLost.
+	Displaced       int
+	Recovered       int
+	DisplacedLost   int
+	DisplacedQueued int
+
+	// Re-placement latency percentiles over the measured phase: the
+	// Schedule wall clock of displaced-VM recoveries, estimated from a
+	// second reservoir of ReplaceSamples observations.
+	ReplaceP50, ReplaceP95, ReplaceP99 time.Duration
+	ReplaceSamples                     int
+
+	// Retry-queue statistics (Config.RetryDropped, mirroring Result):
+	// Enqueued counts arrivals (and displaced VMs) that waited,
+	// RetrySucceeded those eventually placed, MeanWait their average
+	// queue time. Arrivals still waiting when the run stops count into
+	// TotalDropped only (displaced VMs into DisplacedLost) — their
+	// outcome is unresolved in the measured phase.
+	Enqueued       int
+	RetrySucceeded int
+	MeanWait       float64
 
 	// SchedulingTime is the wall clock spent inside Schedule calls;
 	// WallTime the whole run's wall clock (drain excluded).
@@ -138,18 +177,19 @@ func (s *SteadyState) PlacementsPerSec() float64 {
 // steady-state metrics instead of Run's whole-trace aggregates.
 //
 // Arrivals are pulled lazily — the event heap only ever holds the
-// resident VMs' departures, so memory is bounded by occupancy, not run
-// length. Drop-on-failure semantics only (the FIFO retry queue and fault
-// injections are finite-trace features of Run); if the stream implements
+// resident VMs' departures plus the pending injections and fault-plan
+// events, so memory is bounded by occupancy and plan length, not run
+// length. The full Config fault surface applies: ad-hoc Injections, a
+// faults.Plan (merged into the event loop through the non-boxing heap),
+// displaced-VM recovery under Evict, and the RetryDropped FIFO queue
+// (drained on departures and repairs; a waiting VM's lifetime starts
+// when it is placed). If the stream implements
 // workload.UtilizationObserver it receives the binding-resource
 // utilization after every arrival, which is how the target-utilization
 // controller closes its loop.
 func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
-	}
-	if len(r.injections) > 0 || r.retry {
-		return nil, fmt.Errorf("sim: RunStream does not support injections or the retry queue")
 	}
 	size := cfg.ReservoirSize
 	if size == 0 {
@@ -162,6 +202,7 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 	obs, _ := s.(workload.UtilizationObserver)
 	res := &SteadyState{Algorithm: r.sch.Name(), Workload: s.Name(), RateMultiplier: 1}
 	lat := newReservoir(size, seed)
+	rep := newReservoir(size, seed+1) // re-placement latencies, own stream
 	wind := &windower{warmup: cfg.Warmup, window: cfg.Window}
 
 	utilNow := func() (perRes [units.NumResources]float64, binding float64) {
@@ -177,9 +218,65 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 
 	var h eventQueue
 	seq := 0
+	for _, inj := range r.injections {
+		h.Push(event{t: inj.T, kind: inject, seq: seq, do: inj.Do})
+		seq++
+	}
+	if r.plan != nil {
+		for i := range r.plan.Events {
+			h.Push(event{t: r.plan.Events[i].T, kind: fault, seq: seq, fx: i})
+			seq++
+		}
+	}
 	resident := 0
 	var lastT int64
 	wallStart := time.Now()
+
+	// Retry queue: FIFO behind a head cursor, so the backing array is
+	// reused once fully drained instead of reallocated per wave.
+	var waiting []queuedVM
+	wHead := 0
+	var waitSum float64
+	// Same-instant fault events form one atomic burst: all of them apply
+	// before any eviction or queue drain, so a correlated outage cannot
+	// leak VMs onto hardware that fails in the same tick.
+	var burstFail, burstRepair bool
+	r.resetFaultCounts()
+	drainQueue := func(now int64, measured bool) {
+		for wHead < len(waiting) {
+			q := waiting[wHead]
+			start := time.Now()
+			a, err := r.sch.Schedule(q.vm)
+			res.SchedulingTime += time.Since(start)
+			if err != nil {
+				return // FIFO: the head blocks the rest
+			}
+			waiting[wHead] = queuedVM{}
+			wHead++
+			res.RetrySucceeded++
+			waitSum += float64(now - q.vm.Arrival)
+			resident++
+			if q.displaced {
+				// A late recovery: the VM already counted as accepted at
+				// its original arrival, so only the displacement outcome
+				// moves.
+				res.Recovered++
+				if measured {
+					wind.cur.Recovered++
+				}
+			} else {
+				res.TotalAccepted++
+				if measured {
+					res.Accepted++
+					wind.cur.Accepted++
+				}
+			}
+			h.Push(event{t: now + q.vm.Lifetime, kind: departure, seq: seq, vm: q.vm, a: a})
+			seq++
+		}
+		waiting = waiting[:0]
+		wHead = 0
+	}
 
 	pending, more := s.Next()
 	if more && cfg.Duration > 0 && pending.Arrival > cfg.Duration {
@@ -190,7 +287,8 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 	}
 	// The run ends with the arrival budget: simulating past the last
 	// arrival would only measure an emptying cluster, which is not steady
-	// state (Drain releases the survivors afterwards, unmetered).
+	// state (Drain releases the survivors afterwards, unmetered). Fault
+	// events past the last arrival are likewise never applied.
 	for more || h.Len() > 0 {
 		var e event
 		if heapFirst(&h, pending, more) {
@@ -218,9 +316,71 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 		lastT = e.t
 		measured := e.t >= cfg.Warmup
 
+		if e.kind == inject || e.kind == fault {
+			drain := false
+			if e.kind == inject {
+				e.do(r.st)
+				drain = true // an injection may have freed capacity
+			} else {
+				ev := r.plan.Events[e.fx]
+				r.applyFault(ev)
+				if ev.Repair {
+					burstRepair = true
+				} else {
+					burstFail = true
+				}
+				if sameInstantFaultPending(&h, e.t) {
+					continue // finish the whole same-instant burst first
+				}
+				if r.evict && burstFail {
+					r.evictDisplaced(&h, e.t, evictHooks{
+						after: func(a *sched.Assignment, recovered bool, d time.Duration) {
+							res.Displaced++
+							if measured {
+								wind.cur.Displaced++
+							}
+							if recovered {
+								res.Recovered++
+								if measured {
+									wind.cur.Recovered++
+									rep.add(float64(d))
+								}
+							}
+						},
+						lost: func(vm workload.VM) {
+							resident--
+							if r.retry {
+								// Re-enters the queue now: wait measured
+								// from the eviction, lifetime restarting
+								// when re-placed.
+								vm.Arrival = e.t
+								waiting = append(waiting, queuedVM{vm: vm, displaced: true})
+								res.Enqueued++
+								res.DisplacedQueued++
+							} else {
+								res.DisplacedLost++
+							}
+						},
+					})
+				}
+				drain = burstRepair
+				burstFail, burstRepair = false, false
+			}
+			if r.retry && drain {
+				drainQueue(e.t, measured) // freed capacity retries the queue
+			}
+			perRes, _ := utilNow()
+			wind.set(perRes)
+			continue
+		}
 		if e.kind == departure {
-			r.sch.Release(e.a)
-			resident--
+			if e.a != nil { // nil: ghost of a displaced VM, already handled
+				r.sch.Release(e.a)
+				resident--
+				if r.retry {
+					drainQueue(e.t, measured)
+				}
+			}
 			perRes, _ := utilNow()
 			wind.set(perRes)
 			continue
@@ -228,30 +388,45 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 		if err := e.vm.Validate(); err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		a, err := r.sch.Schedule(e.vm)
-		d := time.Since(start)
-		res.SchedulingTime += d
 		if measured {
 			res.Arrivals++
 			wind.cur.Arrivals++
-			lat.add(float64(d))
 		}
-		if err != nil {
-			res.TotalDropped++
-			if measured {
-				res.Dropped++
-				wind.cur.Dropped++
-			}
+		if r.retry && wHead < len(waiting) {
+			// FIFO fairness: queued VMs go first; the arrival joins the
+			// tail and is not sampled as a direct decision.
+			waiting = append(waiting, queuedVM{vm: e.vm})
+			res.Enqueued++
+			drainQueue(e.t, measured)
 		} else {
-			res.TotalAccepted++
-			resident++
+			start := time.Now()
+			a, err := r.sch.Schedule(e.vm)
+			d := time.Since(start)
+			res.SchedulingTime += d
 			if measured {
-				res.Accepted++
-				wind.cur.Accepted++
+				lat.add(float64(d))
 			}
-			h.Push(event{t: e.t + e.vm.Lifetime, kind: departure, seq: seq, vm: e.vm, a: a})
-			seq++
+			if err != nil {
+				if r.retry {
+					waiting = append(waiting, queuedVM{vm: e.vm})
+					res.Enqueued++
+				} else {
+					res.TotalDropped++
+					if measured {
+						res.Dropped++
+						wind.cur.Dropped++
+					}
+				}
+			} else {
+				res.TotalAccepted++
+				resident++
+				if measured {
+					res.Accepted++
+					wind.cur.Accepted++
+				}
+				h.Push(event{t: e.t + e.vm.Lifetime, kind: departure, seq: seq, vm: e.vm, a: a})
+				seq++
+			}
 		}
 		perRes, binding := utilNow()
 		wind.set(perRes)
@@ -264,6 +439,16 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 	}
 	res.WallTime = time.Since(wallStart)
 
+	for i := wHead; i < len(waiting); i++ { // still queued: never placed
+		if waiting[i].displaced {
+			res.DisplacedLost++ // was accepted once; its re-admission failed
+		} else {
+			res.TotalDropped++
+		}
+	}
+	if res.RetrySucceeded > 0 {
+		res.MeanWait = waitSum / float64(res.RetrySucceeded)
+	}
 	res.End = lastT
 	res.Resident = resident
 	res.Windows = wind.close(lastT)
@@ -272,13 +457,17 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 	res.LatencyP50 = time.Duration(lat.percentile(50))
 	res.LatencyP95 = time.Duration(lat.percentile(95))
 	res.LatencyP99 = time.Duration(lat.percentile(99))
+	res.ReplaceSamples = rep.samples()
+	res.ReplaceP50 = time.Duration(rep.percentile(50))
+	res.ReplaceP95 = time.Duration(rep.percentile(95))
+	res.ReplaceP99 = time.Duration(rep.percentile(99))
 	res.RateMultiplier = finalMultiplier(s)
 
 	if cfg.Drain {
 		// Unmetered: release the survivors so the state ends empty.
 		for h.Len() > 0 {
 			e := h.Pop()
-			if e.kind == departure {
+			if e.kind == departure && e.a != nil {
 				r.sch.Release(e.a)
 			}
 		}

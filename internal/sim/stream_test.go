@@ -184,9 +184,16 @@ func TestRunStreamConfigValidation(t *testing.T) {
 	}
 }
 
-func TestRunStreamRejectsInjectionsAndRetry(t *testing.T) {
-	tr := streamTrace()
-	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+// TestRunStreamRetryQueue: RunStream supports the FIFO retry queue (a
+// PR 5 extension — it used to reject it): on an overloaded single-rack
+// cluster, arrivals that find no capacity wait and are served by later
+// departures instead of being dropped, FIFO and with restarted
+// lifetimes, mirroring Run's semantics.
+func TestRunStreamRetryQueue(t *testing.T) {
+	cfg := topology.DefaultConfig()
+	cfg.Racks = 1
+	cfg.CPUBoxes = 1 // one CPU box: whole-box CPU requests serialize
+	st, err := sched.NewState(cfg, network.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,15 +201,38 @@ func TestRunStreamRejectsInjectionsAndRetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{MaxArrivals: 10, Window: 10}); err == nil {
-		t.Error("retry runner must reject RunStream")
-	}
-	r2, err := NewRunner(st, core.New(st), Config{Injections: []Injection{{T: 1, Do: func(*sched.State) {}}}})
+	// Each VM takes the rack's only CPU box whole. VMs 1 and 2 arrive while VM 0
+	// still runs and must wait; the departures at t=10 and t=20 (fired
+	// ahead of the later arrivals in the merged event order) serve them
+	// head-first. The stragglers at t=12/t=22 keep the run alive past
+	// those departures and are themselves still waiting when the arrival
+	// budget ends the run, so they count as dropped.
+	tr := &workload.Trace{Name: "retry", VMs: []workload.VM{
+		{ID: 0, Arrival: 0, Lifetime: 10, Req: units.Vec(512, 16, 128)},
+		{ID: 1, Arrival: 1, Lifetime: 10, Req: units.Vec(512, 16, 128)},
+		{ID: 2, Arrival: 2, Lifetime: 10, Req: units.Vec(512, 16, 128)},
+		{ID: 3, Arrival: 12, Lifetime: 10, Req: units.Vec(512, 16, 128)},
+		{ID: 4, Arrival: 22, Lifetime: 10, Req: units.Vec(512, 16, 128)},
+	}}
+	res, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{
+		MaxArrivals: 5, Window: 10, Drain: true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r2.RunStream(workload.NewTraceStream(tr), StreamConfig{MaxArrivals: 10, Window: 10}); err == nil {
-		t.Error("injection runner must reject RunStream")
+	if res.TotalAccepted != 3 || res.TotalDropped != 2 {
+		t.Fatalf("accepted %d dropped %d, want 3/2", res.TotalAccepted, res.TotalDropped)
+	}
+	if res.Enqueued != 4 || res.RetrySucceeded != 2 {
+		t.Fatalf("enqueued %d retried %d, want 4/2", res.Enqueued, res.RetrySucceeded)
+	}
+	// VM 1 waits from t=1 to the t=10 departure (9), VM 2 from t=2 to
+	// t=20 (18): mean 13.5.
+	if res.MeanWait != 13.5 {
+		t.Errorf("mean wait %g, want 13.5", res.MeanWait)
+	}
+	if err := st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -194,7 +194,17 @@ func (c *Cluster) Release(p Placement) {
 
 // SetBoxFailed marks a box failed or restores it. A failed box accepts no
 // new placements and reports zero free capacity; existing placements stay
-// accounted and may still be released. Toggling is idempotent.
+// accounted and may still be released (the freed capacity rejoins the
+// totals at repair time — see Release). Toggling is idempotent.
+//
+// Repair re-seeds both index tiers exactly rather than relying on the
+// lazy self-repair of the query paths: the rack's kind index is rescanned
+// (so max/best are exact and clean even when earlier decreases had left
+// it dirty) and the cluster candidate tree's bound for the rack is set to
+// that exact maximum (a lazy raise would leave a slack upper bound
+// whenever the rack index was dirty at repair time). Repairs are rare, so
+// the O(boxes-of-kind) rescan is free compared to leaving every
+// post-repair query to tighten the bounds itself.
 func (c *Cluster) SetBoxFailed(b *Box, failed bool) {
 	if b.failed == failed {
 		return
@@ -205,8 +215,19 @@ func (c *Cluster) SetBoxFailed(b *Box, failed bool) {
 		c.racks[b.rack].noteDecrease(b, b.free)
 	} else {
 		c.free[b.kind] += b.free
-		c.noteRackIncrease(b, b.free)
+		c.reseedOnRepair(b)
 	}
+}
+
+// reseedOnRepair restores the rack-tier and cluster-tier indices to their
+// exact values after b returned to service. b.failed must already be
+// false so the rescan sees the box's true free amount.
+func (c *Cluster) reseedOnRepair(b *Box) {
+	rack := c.racks[b.rack]
+	ix := &rack.idx[b.kind]
+	ix.total += b.free
+	ix.rescan(rack.byKind[b.kind])
+	c.cidx[b.kind].set(b.rack, ix.max)
 }
 
 // Preoccupy permanently consumes amount from the given box; it is used by

@@ -80,6 +80,92 @@ func TestReleaseIntoFailedBox(t *testing.T) {
 	}
 }
 
+// TestRepairReseedsIndexTiers pins the repair-path contract behind the
+// fault subsystem: healing a box must leave both index tiers exact — the
+// rack's kind index rescanned clean and the cluster candidate bound
+// tightened to the true maximum — not merely self-repairing upper
+// bounds. Before the re-seed fix, healing a box while the rack index was
+// dirty left the index dirty and the candidate bound slack (stuck at the
+// pre-failure maximum).
+func TestRepairReseedsIndexTiers(t *testing.T) {
+	c := mustCluster(t, DefaultConfig())
+	rack := c.Rack(0)
+	k := units.CPU
+	b0, b1 := rack.BoxesOf(k)[0], rack.BoxesOf(k)[1]
+	// Shrink the non-best box (index stays clean), then the best box
+	// (index goes dirty with the candidate bound stale at 512).
+	if _, err := c.Allocate(b1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate(b0, 200); err != nil {
+		t.Fatal(err)
+	}
+	c.SetBoxFailed(b0, true)
+	c.SetBoxFailed(b0, false)
+
+	ix := &rack.idx[k]
+	if ix.dirty {
+		t.Error("rack kind index left dirty after repair")
+	}
+	wantMax, wantBest := b1.Free(), b1 // 412 > the healed box's 312
+	if ix.max != wantMax || ix.best != wantBest {
+		t.Errorf("rack index after repair = (%d, %v), want exact (%d, %v)",
+			ix.max, ix.best, wantMax, wantBest)
+	}
+	if got := c.cidx[k].leaf(0); got != wantMax {
+		t.Errorf("cluster candidate bound %d after repair, want exact %d", got, wantMax)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReleaseIntoFailedThenHealedBox covers the interaction of the
+// Release failed-box skip path with repair, in both orders: a VM
+// departing while its box is down (the freed capacity must surface at
+// repair, with both index tiers exact), and a VM departing after its box
+// already recovered (a plain healthy-path release).
+func TestReleaseIntoFailedThenHealedBox(t *testing.T) {
+	k := units.CPU
+	for _, order := range []string{"release-then-heal", "heal-then-release"} {
+		c := mustCluster(t, DefaultConfig())
+		total := c.TotalFree(k)
+		rack := c.Rack(0)
+		box := rack.BoxesOf(k)[0]
+		p, err := c.Allocate(box, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetBoxFailed(box, true)
+		if order == "release-then-heal" {
+			c.Release(p)
+			c.SetBoxFailed(box, false)
+		} else {
+			c.SetBoxFailed(box, false)
+			c.Release(p)
+		}
+		if got := c.TotalFree(k); got != total {
+			t.Errorf("%s: cluster free = %d, want pristine %d", order, got, total)
+		}
+		if got := rack.Free(k); got != 2*box.Capacity() {
+			t.Errorf("%s: rack free = %d, want %d", order, got, 2*box.Capacity())
+		}
+		if max, best := rack.MaxFree(k); max != box.Capacity() || best != box {
+			t.Errorf("%s: MaxFree = (%d, %v), want (%d, %v)", order, max, best, box.Capacity(), box)
+		}
+		if got := c.cidx[k].leaf(0); got != box.Capacity() {
+			t.Errorf("%s: candidate bound %d, want exact %d", order, got, box.Capacity())
+		}
+		// The restored capacity must be findable through the query tier.
+		if got := c.NextRackWith(k, box.Capacity(), 0); got != 0 {
+			t.Errorf("%s: NextRackWith full box = rack %d, want 0", order, got)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", order, err)
+		}
+	}
+}
+
 func TestFailedBoxExcludedFromRackViews(t *testing.T) {
 	c := mustCluster(t, DefaultConfig())
 	rack := c.Rack(0)
