@@ -181,6 +181,74 @@ func BenchmarkScheduleOneUnderFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleOneResumed asserts the zero-allocation contract of
+// the decision path on a RESTORED datacenter: a half-loaded cluster is
+// captured with sim.CaptureState and rebuilt into a pristine state with
+// sim.RestoreState, and steady-state Schedule+Release rounds on the
+// restored side must allocate nothing — restore must hand back pools,
+// scratch buffers and index tiers as warm as a fresh run leaves them.
+// Enforced at 0 allocs/op by scripts/ci/allocguard.sh, like the other
+// ScheduleOne contracts.
+func BenchmarkScheduleOneResumed(b *testing.B) {
+	for _, alg := range experiments.Algorithms {
+		b.Run(alg, func(b *testing.B) {
+			warm, err := experiments.DefaultSetup().NewState()
+			if err != nil {
+				b.Fatal(err)
+			}
+			warmSch, err := experiments.NewScheduler(alg, warm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			live := make([]*sched.Assignment, 0, 500)
+			for i := 0; i < 500; i++ {
+				vm := workload.VM{ID: i, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+				a, err := warmSch.Schedule(vm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				live = append(live, a)
+			}
+			snap, err := sim.CaptureState(warm, warmSch, live)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := experiments.DefaultSetup().NewState()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sch, err := experiments.NewScheduler(alg, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.RestoreState(st, sch, snap); err != nil {
+				b.Fatal(err)
+			}
+			vm := workload.VM{ID: 10_000, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+			round := func() {
+				a, err := sch.Schedule(vm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sch.Release(a)
+			}
+			// Warm the assignment/flow pools and scratch high-water marks;
+			// restore itself pre-populates the placement side.
+			for i := 0; i < 64; i++ {
+				round()
+			}
+			if avg := testing.AllocsPerRun(200, round); avg != 0 {
+				b.Fatalf("%s: %.2f allocs/op on the resumed path at steady state, want 0", alg, avg)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+		})
+	}
+}
+
 // BenchmarkScheduleOneScale is BenchmarkScheduleOne across cluster sizes:
 // the same per-VM decision on clusters from the paper's 18 racks up to
 // 1152, pre-loaded to the same per-rack operating point. With the

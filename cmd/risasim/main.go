@@ -19,6 +19,10 @@
 //	risasim -exp faults -evict       # with displaced-VM recovery
 //	risasim -exp faults -mtbf 10000 -mttr 1000   # one custom MTBF rung
 //	risasim -exp faults -target-util 0.75 -duration 30000   # quick cell
+//	risasim -exp churn -clone        # ladder on shared warm snapshots (one warmup per rung)
+//	risasim -exp faults -clone       # availability ladder on shared fault-free warm states
+//	risasim -exp churn -snapshot warm.gob     # save the warm state, then finish the run
+//	risasim -exp churn -restore warm.gob      # resume the saved warm state (skips warmup)
 //	risasim -exp churn -cpuprofile cpu.pprof   # profile the hot path
 //	risasim -exp all -memprofile mem.pprof     # heap profile on clean exit
 //
@@ -54,6 +58,9 @@ type options struct {
 	mtbf       int64
 	mttr       int64
 	evict      bool
+	clone      bool
+	snapshot   string
+	restore    string
 	cpuprofile string
 	memprofile string
 }
@@ -73,6 +80,9 @@ func parseArgs(args []string) (options, error) {
 	fs.Int64Var(&o.mtbf, "mtbf", 0, "for -exp faults: per-box mean time between failures in time units (0 = default calm/storm MTBF ladder)")
 	fs.Int64Var(&o.mttr, "mttr", experiments.DefaultFaultMTTR, "for -exp faults: per-box mean time to repair in time units")
 	fs.BoolVar(&o.evict, "evict", false, "for -exp faults: evict VMs from failed hardware and re-place them through the scheduler (default: VMs ride out outages in place)")
+	fs.BoolVar(&o.clone, "clone", false, "for -exp churn/faults: share one warm state per rung across all algorithm cells instead of warming each cell separately (controlled comparison; not comparable to the fresh-warmup ladder)")
+	fs.StringVar(&o.snapshot, "snapshot", "", "for -exp churn: warm one RISA cell, save its warm state to this file, then finish the run")
+	fs.StringVar(&o.restore, "restore", "", "for -exp churn: resume a warm state saved by -snapshot, skipping the warmup")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file on clean exit")
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +114,12 @@ func parseArgs(args []string) (options, error) {
 	if o.mttr <= 0 {
 		return o, fmt.Errorf("-mttr must be positive, got %d", o.mttr)
 	}
+	if o.snapshot != "" && o.restore != "" {
+		return o, fmt.Errorf("-snapshot and -restore are mutually exclusive")
+	}
+	if (o.snapshot != "" || o.restore != "") && o.exp != "churn" {
+		return o, fmt.Errorf("-snapshot/-restore require -exp churn, got -exp %s", o.exp)
+	}
 	return o, nil
 }
 
@@ -112,7 +128,7 @@ func parseArgs(args []string) (options, error) {
 // MTBF rung by -mtbf (keeping the fault-free baseline for comparison)
 // and to one utilization rung by -target-util, time-capped by -duration.
 func faultsConfig(o options) experiments.FaultsConfig {
-	cfg := experiments.FaultsConfig{Duration: o.duration, MTTR: o.mttr, Evict: o.evict}
+	cfg := experiments.FaultsConfig{Duration: o.duration, MTTR: o.mttr, Evict: o.evict, Clone: o.clone}
 	if o.mtbf > 0 {
 		cfg.Rungs = []experiments.FaultRung{
 			{Label: "none"},
@@ -129,7 +145,7 @@ func faultsConfig(o options) experiments.FaultsConfig {
 // the default 100k-arrival ladder, narrowed to one custom rung when
 // -target-util is given and time-capped by -duration.
 func churnConfig(o options) experiments.ChurnConfig {
-	cfg := experiments.ChurnConfig{Duration: o.duration}
+	cfg := experiments.ChurnConfig{Duration: o.duration, Clone: o.clone}
 	if o.targetUtil > 0 {
 		// %.4g keeps labels clean for fractions like 0.55, where
 		// targetUtil*100 is not exactly 55 in float64.
@@ -235,6 +251,23 @@ func main() {
 	}
 	if opts.jsonPath != "" {
 		archive = report.NewDocument(opts.seed)
+	}
+	if opts.snapshot != "" || opts.restore != "" {
+		err := error(nil)
+		if opts.snapshot != "" {
+			err = runSnapshotSave(opts, opts.snapshot)
+		} else {
+			err = runSnapshotRestore(opts.restore)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := prof.stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(setup, opts.exp, scaleMaxRacks(opts), churnConfig(opts), faultsConfig(opts)); err != nil {
 		fmt.Fprintf(os.Stderr, "risasim: %v\n", err)

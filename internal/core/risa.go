@@ -268,3 +268,17 @@ func (r *RISA) scheduleSuperRack(vm workload.VM) (*sched.Assignment, error) {
 
 // Cursor exposes the round-robin position for tests and ablations.
 func (r *RISA) Cursor() int { return r.cursor }
+
+// SchedulerState implements sched.StatefulScheduler: RISA's carried
+// decision state is the round-robin rack cursor plus the per-rack
+// next-fit box cursors. Diagnostic counters are excluded (they never
+// influence a placement).
+func (r *RISA) SchedulerState() sched.SchedulerState {
+	return sched.SchedulerState{Cursor: r.cursor, BoxCursors: r.scratch.CursorState()}
+}
+
+// RestoreSchedulerState implements sched.StatefulScheduler.
+func (r *RISA) RestoreSchedulerState(st sched.SchedulerState) {
+	r.cursor = st.Cursor
+	r.scratch.RestoreCursorState(st.BoxCursors)
+}

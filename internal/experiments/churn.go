@@ -42,6 +42,47 @@ type ChurnConfig struct {
 	Duration int64
 	// Rungs is the utilization ladder (default DefaultChurnRungs).
 	Rungs []ChurnRung
+
+	// Clone switches the ladder to warm-state sharing: each rung's
+	// cluster is warmed ONCE (under RISA, the paper's scheduler) to the
+	// end of warmup, snapshotted there, and every algorithm cell resumes
+	// the shared snapshot instead of re-simulating its own warm phase —
+	// the controlled-comparison protocol of Protean-style cluster
+	// studies: all algorithms start from the identical warm state. Each
+	// resumed cell then runs CloneWindows measurement windows (instead
+	// of the full arrival budget), which is where most of the wall-clock
+	// saving comes from; per-cell results remain deterministic and
+	// independent of the worker-pool width, but are NOT comparable to a
+	// default (fresh-warmup, full-budget) ladder. Default off.
+	Clone bool
+	// CloneWindows is the per-cell measurement budget in complete
+	// windows under Clone (default 16).
+	CloneWindows int
+}
+
+// ChurnPhases computes the churn ladder's warmup and window lengths:
+// two mean lifetimes of warmup (fills and settles the resident
+// population) and one lifetime per window, both shrunk when a duration
+// cap leaves no room (warmup at most a quarter of the run, at least
+// four windows in the remainder). Exported because the CLI's
+// snapshot/restore path must reproduce the exact phase boundaries of
+// the ladder it snapshots.
+func ChurnPhases(duration int64) (warmup, window int64) {
+	base := workload.DefaultSyntheticConfig()
+	warmup = 2 * base.LifetimeBase
+	window = base.LifetimeBase
+	if duration > 0 {
+		if warmup > duration/4 {
+			warmup = duration / 4
+		}
+		if window > (duration-warmup)/4 {
+			window = (duration - warmup) / 4
+		}
+		if window < 1 {
+			window = 1
+		}
+	}
+	return warmup, window
 }
 
 // ChurnCell is one (rung, algorithm) steady-state run.
@@ -56,6 +97,7 @@ type Churn struct {
 	Setup    Setup
 	Arrivals int   // per-cell arrival budget (MaxArrivals)
 	Duration int64 // per-cell simulated-time cap, 0 = none
+	Cloned   bool  // warm-state sharing was on (see ChurnConfig.Clone)
 	Lifetime int64
 	Cells    []ChurnCell // rung-major, Algorithms order
 }
@@ -125,22 +167,9 @@ func (s Setup) RunChurn(cfg ChurnConfig) (*Churn, error) {
 		}
 	}
 	base := workload.DefaultSyntheticConfig()
-
-	// Warmup: two lifetimes fills and settles the resident population;
-	// window: one lifetime. Both shrink when a -duration cap leaves no
-	// room for them.
-	warmup := 2 * base.LifetimeBase
-	window := base.LifetimeBase
-	if cfg.Duration > 0 {
-		if warmup > cfg.Duration/4 {
-			warmup = cfg.Duration / 4
-		}
-		if window > (cfg.Duration-warmup)/4 {
-			window = (cfg.Duration - warmup) / 4
-		}
-		if window < 1 {
-			window = 1
-		}
+	warmup, window := ChurnPhases(cfg.Duration)
+	if cfg.Clone {
+		return s.runChurnCloned(cfg, base.LifetimeBase)
 	}
 
 	out := &Churn{Setup: s, Arrivals: cfg.Arrivals, Duration: cfg.Duration, Lifetime: base.LifetimeBase}
@@ -169,13 +198,72 @@ func (s Setup) RunChurn(cfg ChurnConfig) (*Churn, error) {
 	return out, nil
 }
 
-// RunChurnCell executes one steady-state cell: the named algorithm on a
-// fresh datacenter consuming the rung's controlled stream under the
-// given stream configuration.
-func (s Setup) RunChurnCell(algorithm string, rung ChurnRung, cfg sim.StreamConfig) (*sim.SteadyState, error) {
+// runChurnCloned is the Clone-mode grid: one warm run per rung, the
+// snapshot shared read-only by the rung's algorithm cells, each cell a
+// windows-budgeted resume. The default ladder (Clone off) is untouched.
+func (s Setup) runChurnCloned(cfg ChurnConfig, lifetime int64) (*Churn, error) {
+	if cfg.CloneWindows == 0 {
+		cfg.CloneWindows = 16
+	}
+	if cfg.CloneWindows < 0 {
+		return nil, fmt.Errorf("experiments: negative clone window budget %d", cfg.CloneWindows)
+	}
+	// The per-cell budget: warmup plus the window budget (one spare so
+	// the last counted window is closed by an event at or past its end).
+	duration := cfg.Duration
+	warmup, window := ChurnPhases(duration)
+	if duration == 0 {
+		duration = warmup + int64(cfg.CloneWindows+1)*window
+	}
+	streamCfg := sim.StreamConfig{
+		MaxArrivals: cfg.Arrivals,
+		Duration:    duration,
+		Warmup:      warmup,
+		Window:      window,
+	}
+
+	out := &Churn{Setup: s, Arrivals: cfg.Arrivals, Duration: duration, Cloned: true, Lifetime: lifetime}
+	out.Cells = make([]ChurnCell, 0, len(cfg.Rungs)*len(Algorithms))
+	for _, rung := range cfg.Rungs {
+		for _, alg := range Algorithms {
+			out.Cells = append(out.Cells, ChurnCell{Rung: rung, Algorithm: alg})
+		}
+	}
+
+	// Phase 1: warm one cluster per rung, under RISA.
+	snaps := make([]*sim.Snapshot, len(cfg.Rungs))
+	warmErrs := make([]error, len(cfg.Rungs))
+	warmCfg := streamCfg
+	warmCfg.SnapshotAt = warmup
+	Engine{}.ForEach(len(cfg.Rungs), func(i int) {
+		snaps[i], warmErrs[i] = s.WarmChurnCell("RISA", cfg.Rungs[i], warmCfg)
+	})
+	for i, err := range warmErrs {
+		if err != nil {
+			return nil, fmt.Errorf("warming rung %s: %w", cfg.Rungs[i].Label, err)
+		}
+	}
+
+	// Phase 2: every cell resumes its rung's shared snapshot.
+	errs := make([]error, len(out.Cells))
+	Engine{}.ForEach(len(out.Cells), func(i int) {
+		cell := &out.Cells[i]
+		cell.Result, errs[i] = s.ResumeChurnCell(cell.Algorithm, cell.Rung, snaps[i/len(Algorithms)], streamCfg)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s at rung %s: %w", out.Cells[i].Algorithm, out.Cells[i].Rung.Label, err)
+		}
+	}
+	return out, nil
+}
+
+// newChurnCell builds the pristine state, scheduler, runner and stream
+// one churn cell runs on.
+func (s Setup) newChurnCell(algorithm string, rung ChurnRung) (*sim.Runner, *workload.SyntheticStream, error) {
 	st, err := s.NewState()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var capacity [units.NumResources]units.Amount
 	for _, k := range units.Resources() {
@@ -183,21 +271,56 @@ func (s Setup) RunChurnCell(algorithm string, rung ChurnRung, cfg sim.StreamConf
 	}
 	stream, err := churnStream(s.Seed, rung, capacity)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sch, err := NewScheduler(algorithm, st)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	model, err := power.NewModel(s.Optics)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	runner, err := sim.NewRunner(st, sch, sim.Config{PowerModel: model})
+	if err != nil {
+		return nil, nil, err
+	}
+	return runner, stream, nil
+}
+
+// RunChurnCell executes one steady-state cell: the named algorithm on a
+// fresh datacenter consuming the rung's controlled stream under the
+// given stream configuration.
+func (s Setup) RunChurnCell(algorithm string, rung ChurnRung, cfg sim.StreamConfig) (*sim.SteadyState, error) {
+	runner, stream, err := s.newChurnCell(algorithm, rung)
 	if err != nil {
 		return nil, err
 	}
 	return runner.RunStream(stream, cfg)
+}
+
+// WarmChurnCell runs one churn cell up to cfg.SnapshotAt (required) and
+// returns the warm-state snapshot captured there. The snapshot is
+// immutable and may be resumed any number of times, concurrently.
+func (s Setup) WarmChurnCell(algorithm string, rung ChurnRung, cfg sim.StreamConfig) (*sim.Snapshot, error) {
+	runner, stream, err := s.newChurnCell(algorithm, rung)
+	if err != nil {
+		return nil, err
+	}
+	return runner.WarmStream(stream, cfg)
+}
+
+// ResumeChurnCell continues a warm churn snapshot under the named
+// algorithm: a fresh datacenter is restored from the snapshot, the
+// rung's stream is repositioned by replay, and the run completes under
+// cfg. A snapshot warmed under a different algorithm resumes with the
+// new scheduler starting from its zero decision state.
+func (s Setup) ResumeChurnCell(algorithm string, rung ChurnRung, snap *sim.Snapshot, cfg sim.StreamConfig) (*sim.SteadyState, error) {
+	runner, stream, err := s.newChurnCell(algorithm, rung)
+	if err != nil {
+		return nil, err
+	}
+	return runner.ResumeStream(stream, snap, cfg)
 }
 
 // windowAcceptance summarizes per-window acceptance: mean and minimum
@@ -224,6 +347,9 @@ func (c *Churn) Render() string {
 		c.Lifetime, c.Setup.Topology.Racks, c.Arrivals)
 	if c.Duration > 0 {
 		fmt.Fprintf(&b, " (time-capped at %d tu)", c.Duration)
+	}
+	if c.Cloned {
+		b.WriteString("\n(clone mode: each rung warmed once under RISA, all algorithms resume the shared warm snapshot)")
 	}
 	b.WriteString("\n")
 	b.WriteString("(metrics exclude warmup; acc%/win is mean over complete windows, with the worst window in parentheses;\n")

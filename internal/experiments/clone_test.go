@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"risa/internal/sim"
+)
+
+// stripSS zeroes one cell's wall-clock observations so the rest of the
+// struct can be compared bit-for-bit across runs.
+func stripSS(r *sim.SteadyState) {
+	r.SchedulingTime, r.WallTime = 0, 0
+	r.LatencyP50, r.LatencyP95, r.LatencyP99 = 0, 0, 0
+	r.ReplaceP50, r.ReplaceP95, r.ReplaceP99 = 0, 0, 0
+}
+
+// cloneChurnConfig keeps the clone-mode grid small: one rung, a short
+// windows budget.
+func cloneChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Arrivals:     20000,
+		Rungs:        []ChurnRung{{Label: "60%", Target: 0.60}},
+		Clone:        true,
+		CloneWindows: 3,
+	}
+}
+
+// TestChurnCloneDeterministicAcrossPoolWidths: the clone-mode churn
+// grid — shared warm snapshots and all — is bit-identical between a
+// serial run and a 4-worker pool.
+func TestChurnCloneDeterministicAcrossPoolWidths(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(1)
+	serial, err := DefaultSetup().RunChurn(cloneChurnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	pooled, err := DefaultSetup().RunChurn(cloneChurnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Cloned || !pooled.Cloned {
+		t.Fatal("clone grid not flagged Cloned")
+	}
+	for i := range serial.Cells {
+		stripSS(serial.Cells[i].Result)
+		stripSS(pooled.Cells[i].Result)
+	}
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Error("clone-mode churn grid differs between -parallel 1 and a 4-worker pool")
+	}
+	for _, cell := range serial.Cells {
+		if cell.Result.Algorithm != cell.Algorithm {
+			t.Errorf("cell labelled %s reports algorithm %s", cell.Algorithm, cell.Result.Algorithm)
+		}
+		if len(cell.Result.Windows) < 3 {
+			t.Errorf("%s: %d complete windows, want the full budget of 3",
+				cell.Algorithm, len(cell.Result.Windows))
+		}
+	}
+	if out := serial.Render(); !strings.Contains(out, "clone mode") {
+		t.Errorf("clone-mode render missing provenance note:\n%s", out)
+	}
+}
+
+// TestChurnCloneMatchesFreshForWarmAlgorithm: the warm snapshot is
+// taken under RISA, so the clone grid's RISA cell must be bit-identical
+// (wall clock aside) to a fresh single-cell run of the same stream
+// budget — the experiments-level restatement of the snapshot-vs-fresh
+// equivalence contract.
+func TestChurnCloneMatchesFreshForWarmAlgorithm(t *testing.T) {
+	cfg := cloneChurnConfig()
+	cfg.Duration = 50000 // explicit, so the fresh cell can reuse it
+	grid, err := DefaultSetup().RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmup, window := ChurnPhases(cfg.Duration)
+	fresh, err := DefaultSetup().RunChurnCell("RISA", cfg.Rungs[0], sim.StreamConfig{
+		MaxArrivals: cfg.Arrivals,
+		Duration:    cfg.Duration,
+		Warmup:      warmup,
+		Window:      window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cloned *sim.SteadyState
+	for _, cell := range grid.Cells {
+		if cell.Algorithm == "RISA" {
+			cloned = cell.Result
+		}
+	}
+	if cloned == nil {
+		t.Fatal("no RISA cell in the clone grid")
+	}
+	stripSS(cloned)
+	stripSS(fresh)
+	if !reflect.DeepEqual(cloned, fresh) {
+		t.Errorf("cloned RISA cell differs from a fresh run of the same budget:\ncloned: %+v\nfresh:  %+v",
+			cloned, fresh)
+	}
+}
+
+// TestFaultsCloneDeterministicAcrossPoolWidths: the clone-mode
+// availability grid is bit-identical across pool widths, and its cells
+// actually see faults (the resumed plans must not be empty).
+func TestFaultsCloneDeterministicAcrossPoolWidths(t *testing.T) {
+	cfg := quickFaultsConfig()
+	cfg.Clone = true
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(1)
+	serial, err := DefaultSetup().RunFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	pooled, err := DefaultSetup().RunFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Cloned || !pooled.Cloned {
+		t.Fatal("clone grid not flagged Cloned")
+	}
+	stripFaultWallClock(serial)
+	stripFaultWallClock(pooled)
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Error("clone-mode fault ladder differs between -parallel 1 and a 4-worker pool")
+	}
+	displaced := 0
+	for _, cell := range serial.Cells {
+		displaced += cell.Result.Displaced
+	}
+	if displaced == 0 {
+		t.Error("fixture too weak: no clone-mode cell displaced a VM")
+	}
+	if out := serial.Render(); !strings.Contains(out, "clone mode") {
+		t.Errorf("clone-mode render missing provenance note:\n%s", out)
+	}
+}

@@ -57,6 +57,16 @@ type FaultsConfig struct {
 	// evicted and re-placed through the scheduler instead of riding out
 	// the outage in place.
 	Evict bool
+
+	// Clone switches the ladder to warm-state sharing: each utilization
+	// target is warmed ONCE, fault-free, under RISA, to the end of
+	// warmup; every (MTBF rung, algorithm) cell of the target resumes
+	// the shared snapshot with its rung's fault plan installed — plan
+	// events before the snapshot point are dropped, so faults begin
+	// exactly when measurement does. Deterministic and pool-width
+	// independent, but not comparable to a default (fresh-warmup)
+	// ladder, whose warm phase lives through early faults. Default off.
+	Clone bool
 }
 
 // FaultCell is one (MTBF rung, utilization target, algorithm)
@@ -74,6 +84,7 @@ type Faults struct {
 	Arrivals int
 	Duration int64
 	Evict    bool
+	Cloned   bool // warm-state sharing was on (see FaultsConfig.Clone)
 	Lifetime int64
 	Cells    []FaultCell // rung-major, then target, then Algorithms order
 }
@@ -110,21 +121,11 @@ func (s Setup) RunFaults(cfg FaultsConfig) (*Faults, error) {
 		}
 	}
 	base := workload.DefaultSyntheticConfig()
-	warmup := 2 * base.LifetimeBase
-	if warmup > cfg.Duration/4 {
-		warmup = cfg.Duration / 4
-	}
-	window := base.LifetimeBase
-	if window > (cfg.Duration-warmup)/4 {
-		window = (cfg.Duration - warmup) / 4
-	}
-	if window < 1 {
-		window = 1
-	}
+	warmup, window := ChurnPhases(cfg.Duration)
 
 	out := &Faults{
 		Setup: s, Arrivals: cfg.Arrivals, Duration: cfg.Duration,
-		Evict: cfg.Evict, Lifetime: base.LifetimeBase,
+		Evict: cfg.Evict, Cloned: cfg.Clone, Lifetime: base.LifetimeBase,
 	}
 	// One plan per rung, generated once and shared read-only by every
 	// (target, algorithm) cell of the rung — the plan depends only on
@@ -144,16 +145,53 @@ func (s Setup) RunFaults(cfg FaultsConfig) (*Faults, error) {
 			}
 		}
 	}
+	streamCfg := sim.StreamConfig{
+		MaxArrivals: cfg.Arrivals,
+		Duration:    cfg.Duration,
+		Warmup:      warmup,
+		Window:      window,
+	}
 	cellsPerRung := len(cfg.Targets) * len(Algorithms)
+
+	// Clone mode: warm each utilization target once, fault-free, under
+	// RISA; every cell resumes the target's snapshot with its rung's
+	// plan installed from the snapshot point on.
+	var snaps []*sim.Snapshot
+	if cfg.Clone {
+		snaps = make([]*sim.Snapshot, len(cfg.Targets))
+		warmErrs := make([]error, len(cfg.Targets))
+		warmCfg := streamCfg
+		warmCfg.SnapshotAt = warmup
+		Engine{}.ForEach(len(cfg.Targets), func(i int) {
+			runner, stream, err := s.newFaultCell("RISA", cfg.Targets[i], nil, false)
+			if err != nil {
+				warmErrs[i] = err
+				return
+			}
+			snaps[i], warmErrs[i] = runner.WarmStream(stream, warmCfg)
+		})
+		for i, err := range warmErrs {
+			if err != nil {
+				return nil, fmt.Errorf("warming target %.0f%%: %w", cfg.Targets[i]*100, err)
+			}
+		}
+	}
+
 	errs := make([]error, len(out.Cells))
 	Engine{}.ForEach(len(out.Cells), func(i int) {
 		cell := &out.Cells[i]
-		cell.Result, errs[i] = s.runFaultCell(cell.Algorithm, cell.Target, plans[i/cellsPerRung], cfg.Evict, sim.StreamConfig{
-			MaxArrivals: cfg.Arrivals,
-			Duration:    cfg.Duration,
-			Warmup:      warmup,
-			Window:      window,
-		})
+		plan := plans[i/cellsPerRung]
+		runner, stream, err := s.newFaultCell(cell.Algorithm, cell.Target, plan, cfg.Evict)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if cfg.Clone {
+			snap := snaps[(i%cellsPerRung)/len(Algorithms)]
+			cell.Result, errs[i] = runner.ResumeStream(stream, snap, streamCfg)
+		} else {
+			cell.Result, errs[i] = runner.RunStream(stream, streamCfg)
+		}
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -193,9 +231,19 @@ func (s Setup) RunFaultCell(algorithm string, target float64, rung FaultRung, ev
 // runFaultCell is RunFaultCell on an already-generated (shared,
 // read-only) plan; a nil plan runs the fault-free baseline.
 func (s Setup) runFaultCell(algorithm string, target float64, plan *faults.Plan, evict bool, cfg sim.StreamConfig) (*sim.SteadyState, error) {
-	st, err := s.NewState()
+	runner, stream, err := s.newFaultCell(algorithm, target, plan, evict)
 	if err != nil {
 		return nil, err
+	}
+	return runner.RunStream(stream, cfg)
+}
+
+// newFaultCell builds the pristine state, scheduler, runner (carrying
+// the shared read-only plan) and stream one availability cell runs on.
+func (s Setup) newFaultCell(algorithm string, target float64, plan *faults.Plan, evict bool) (*sim.Runner, *workload.SyntheticStream, error) {
+	st, err := s.NewState()
+	if err != nil {
+		return nil, nil, err
 	}
 	var capacity [units.NumResources]units.Amount
 	for _, k := range units.Resources() {
@@ -203,7 +251,7 @@ func (s Setup) runFaultCell(algorithm string, target float64, plan *faults.Plan,
 	}
 	stream, err := churnStream(s.Seed, ChurnRung{Target: target}, capacity)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	simCfg := sim.Config{}
 	if plan != nil {
@@ -212,13 +260,13 @@ func (s Setup) runFaultCell(algorithm string, target float64, plan *faults.Plan,
 	}
 	sch, err := NewScheduler(algorithm, st)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	runner, err := sim.NewRunner(st, sch, simCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return runner.RunStream(stream, cfg)
+	return runner, stream, nil
 }
 
 // Render draws the availability ladder as one table per (rung, target).
@@ -230,6 +278,9 @@ func (f *Faults) Render() string {
 	}
 	fmt.Fprintf(&b, "Availability ladder: box-tier MTBF × utilization, %d racks, %d tu per cell, policy: %s\n",
 		f.Setup.Topology.Racks, f.Duration, mode)
+	if f.Cloned {
+		b.WriteString("(clone mode: each target warmed once fault-free under RISA; faults begin at the snapshot point)\n")
+	}
 	b.WriteString("(metrics exclude warmup; acc%/win is mean over complete windows with the worst window in parentheses;\n")
 	b.WriteString(" displ/rec/lost count displaced VMs; re-place p95 is wall-clock — regenerate with -parallel 1 for honest timings)\n")
 	for i, cell := range f.Cells {

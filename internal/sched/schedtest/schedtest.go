@@ -10,11 +10,13 @@ package schedtest
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"risa/internal/core"
 	"risa/internal/network"
 	"risa/internal/sched"
+	"risa/internal/sim"
 	"risa/internal/topology"
 	"risa/internal/units"
 	"risa/internal/workload"
@@ -34,6 +36,7 @@ func Conformance(t *testing.T, name string, mk Factory) {
 	t.Run(name+"/FailedBoxNeverPlaced", func(t *testing.T) { failedBoxNeverPlaced(t, mk) })
 	t.Run(name+"/HealedBoxReusable", func(t *testing.T) { healedBoxReusable(t, mk) })
 	t.Run(name+"/FaultInterleavedHygiene", func(t *testing.T) { faultInterleavedHygiene(t, mk) })
+	t.Run(name+"/SnapshotHygiene", func(t *testing.T) { snapshotHygiene(t, mk) })
 }
 
 func newState(t *testing.T) *sched.State {
@@ -460,6 +463,131 @@ func faultInterleavedHygiene(t *testing.T, mk Factory) {
 		}
 		if il2.sig[i] != ref2.sig[i] {
 			t.Fatalf("run 2 step %d: interleaved %q != isolated %q", i, il2.sig[i], ref2.sig[i])
+		}
+	}
+	checkAll(t, il1.st)
+	checkAll(t, il2.st)
+}
+
+// snapshotHygiene extends the interleaved-hygiene family to the snapshot
+// plane: interleaving sim.CaptureState (and restores into third
+// instances) into the A/B decision script must not perturb either
+// instance. Capture is read-only and restore targets a separate pristine
+// state, so the scripted signatures must equal the isolated,
+// never-snapshotted references exactly — and every restored twin must
+// itself pass invariants and re-capture to an identical snapshot. The
+// script is the fault-interleaved one (fail/heal/displace included), so
+// captures also happen with failed hardware and stranded VMs in flight.
+func snapshotHygiene(t *testing.T, mk Factory) {
+	type run struct {
+		s    sched.Scheduler
+		st   *sched.State
+		rng  *rand.Rand
+		live []*sched.Assignment
+		sig  []string
+	}
+	newRun := func(seed int64) *run {
+		st := newState(t)
+		return &run{s: mk(st), st: st, rng: rand.New(rand.NewSource(seed))}
+	}
+	step := func(r *run, i int) {
+		boxes := r.st.Cluster.Boxes()
+		switch r.rng.Intn(8) {
+		case 0:
+			b := boxes[r.rng.Intn(len(boxes))]
+			r.st.Cluster.SetBoxFailed(b, true)
+			r.sig = append(r.sig, "fail "+b.String())
+			return
+		case 1:
+			b := boxes[r.rng.Intn(len(boxes))]
+			r.st.Cluster.SetBoxFailed(b, false)
+			r.sig = append(r.sig, "heal "+b.String())
+			return
+		case 2:
+			for j, a := range r.live {
+				if !a.OnFailedHardware() {
+					continue
+				}
+				if core.Displace(r.st, r.s, a) {
+					r.sig = append(r.sig, fmt.Sprint("displaced", a.CPU.Box, a.RAM.Box, a.STO.Box))
+				} else {
+					r.st.ReleaseVM(a)
+					r.live = append(r.live[:j], r.live[j+1:]...)
+					r.sig = append(r.sig, "displace-lost")
+				}
+				return
+			}
+			r.sig = append(r.sig, "nothing-stranded")
+			return
+		case 3:
+			if len(r.live) > 0 {
+				j := r.rng.Intn(len(r.live))
+				r.s.Release(r.live[j])
+				r.live = append(r.live[:j], r.live[j+1:]...)
+				r.sig = append(r.sig, "release")
+				return
+			}
+			fallthrough
+		default:
+			vm := workload.VM{ID: i, Lifetime: 10, Req: units.Vec(
+				units.Amount(r.rng.Int63n(32)+1),
+				units.Amount(r.rng.Int63n(64)+1),
+				128)}
+			a, err := r.s.Schedule(vm)
+			if err != nil {
+				r.sig = append(r.sig, "drop")
+				return
+			}
+			r.live = append(r.live, a)
+			r.sig = append(r.sig, fmt.Sprint(a.CPU.Box, a.RAM.Box, a.STO.Box))
+		}
+	}
+	// snapshotAndRestore captures the run's state, restores it into a
+	// fresh third instance and cross-checks the roundtrip. Everything it
+	// does must be invisible to the run itself.
+	snapshotAndRestore := func(r *run, i int) {
+		snap, err := sim.CaptureState(r.st, r.s, r.live)
+		if err != nil {
+			t.Fatalf("step %d: capture: %v", i, err)
+		}
+		st2 := newState(t)
+		s2 := mk(st2)
+		live2, err := sim.RestoreState(st2, s2, snap)
+		if err != nil {
+			t.Fatalf("step %d: restore: %v", i, err)
+		}
+		checkAll(t, st2)
+		snap2, err := sim.CaptureState(st2, s2, live2)
+		if err != nil {
+			t.Fatalf("step %d: re-capture: %v", i, err)
+		}
+		if !reflect.DeepEqual(snap, snap2) {
+			t.Fatalf("step %d: restored state re-captures differently", i)
+		}
+	}
+	const steps = 400
+	ref1, ref2 := newRun(41), newRun(42)
+	for i := 0; i < steps; i++ {
+		step(ref1, i)
+	}
+	for i := 0; i < steps; i++ {
+		step(ref2, i)
+	}
+	il1, il2 := newRun(41), newRun(42)
+	for i := 0; i < steps; i++ {
+		step(il1, i)
+		step(il2, i)
+		if i%50 == 25 {
+			snapshotAndRestore(il1, i)
+			snapshotAndRestore(il2, i)
+		}
+	}
+	for i := 0; i < steps; i++ {
+		if il1.sig[i] != ref1.sig[i] {
+			t.Fatalf("run 1 step %d: snapshot-interleaved %q != isolated %q", i, il1.sig[i], ref1.sig[i])
+		}
+		if il2.sig[i] != ref2.sig[i] {
+			t.Fatalf("run 2 step %d: snapshot-interleaved %q != isolated %q", i, il2.sig[i], ref2.sig[i])
 		}
 	}
 	checkAll(t, il1.st)

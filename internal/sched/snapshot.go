@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"risa/internal/network"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// SchedulerState is the serializable semantic state of a scheduler: the
+// round-robin rack cursor and the per-rack, per-resource next-fit box
+// cursors that persist across decisions. Purely diagnostic counters
+// (decision statistics) are deliberately excluded — they never influence
+// a placement. Stateless schedulers have a zero SchedulerState.
+type SchedulerState struct {
+	Cursor     int
+	BoxCursors [][units.NumResources]int
+}
+
+// StatefulScheduler is implemented by schedulers whose decisions depend
+// on state carried across Schedule calls. Snapshot capture records that
+// state and restore replays it, so a restored scheduler makes exactly
+// the decisions the original would have made next.
+type StatefulScheduler interface {
+	// SchedulerState captures the decision-relevant carried state.
+	SchedulerState() SchedulerState
+	// RestoreSchedulerState replays previously captured state.
+	RestoreSchedulerState(st SchedulerState)
+}
+
+// CursorState returns a copy of the scratch's persistent next-fit
+// cursors, for snapshot capture.
+func (s *Scratch) CursorState() [][units.NumResources]int {
+	if len(s.cursors) == 0 {
+		return nil
+	}
+	out := make([][units.NumResources]int, len(s.cursors))
+	copy(out, s.cursors)
+	return out
+}
+
+// RestoreCursorState replaces the scratch's persistent next-fit cursors
+// with a captured copy.
+func (s *Scratch) RestoreCursorState(cur [][units.NumResources]int) {
+	s.cursors = s.cursors[:0]
+	s.cursors = append(s.cursors, cur...)
+}
+
+// RestoreAssignment binds already-restored placements and flows to a
+// pooled assignment record, completing the snapshot replay of one live
+// VM. The placements must have been re-carved via
+// Cluster.RestorePlacement and the flows via Fabric.RestoreFlow, so the
+// planes already account for them; this call only rebuilds the record
+// that ties them together.
+func (s *State) RestoreAssignment(vm workload.VM, cpu, ram, sto topology.Placement, cpuram, ramsto *network.Flow) *Assignment {
+	a := s.getAssignment(vm)
+	a.CPU, a.RAM, a.STO = cpu, ram, sto
+	a.CPURAMFlow, a.RAMSTOFlow = cpuram, ramsto
+	return a
+}

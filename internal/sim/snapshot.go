@@ -1,0 +1,632 @@
+// Snapshot support: deterministic capture of a complete mid-run
+// simulation state and its restoration into a pristine datacenter, such
+// that a restored run is bit-identical to the original continuing.
+//
+// Capture happens only at an event boundary (every event strictly before
+// the snapshot point processed, nothing at or after it started), so no
+// same-instant fault burst or half-applied transaction can be in flight.
+// A snapshot holds plain serializable data — no live pointers: compute
+// placements are recorded as exact per-brick shares, optical flows as
+// structural link paths, heap entries as (time, kind, seq, plan-index,
+// VM, assignment-index) tuples in the heap's own array order (the order
+// evictDisplaced scans), and every RNG as (seed, draw count) replayed on
+// restore (workload.CountingSource). Restoration replays placements and
+// flows onto a pristine state first and applies hardware failures
+// afterwards; the resulting brick, link and aggregate values equal the
+// original's exactly, because releases return shares to bricks even on
+// failed hardware, so live placements fully determine the planes.
+//
+// The determinism contract: resuming a snapshot under the same
+// configuration (same stream construction, same stop bounds, same fault
+// plan, same scheduler) yields windowed metrics bit-identical to the
+// original run continuing, wall-clock-derived values (latency
+// percentiles, SchedulingTime, WallTime) excepted. A snapshot is
+// immutable after capture — ResumeStream copies out of it and never
+// writes into it — so one snapshot may warm many cells, concurrently,
+// without cloning; Clone exists for callers that want an owned copy.
+package sim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// PlacementState is the serializable form of one compute placement: the
+// box's rack-major global index and the exact per-brick shares. Box is
+// -1 for the zero placement (resource not requested).
+type PlacementState struct {
+	Box    int
+	Shares []topology.BrickShare
+	Total  units.Amount
+}
+
+// FlowState is the serializable form of one optical flow: the exact
+// links it reserves bandwidth on, by structural address. Present
+// distinguishes a real flow from an absent one (gob cannot round-trip
+// that through a nil pointer inside a slice element).
+type FlowState struct {
+	Present             bool
+	BW                  units.Bandwidth
+	Links               []network.LinkRef
+	InterRack, InterPod bool
+}
+
+// AssignmentState is the serializable form of one live assignment.
+type AssignmentState struct {
+	VM            workload.VM
+	CPU, RAM, STO PlacementState
+	CPURAM        FlowState
+	RAMSTO        FlowState
+}
+
+// StateSnapshot captures the datacenter planes — cluster occupancy,
+// fabric occupancy, hardware failures — plus the scheduler's carried
+// decision state, as the set of live assignments that produce them.
+// It is the part of a Snapshot that FuzzSnapshotRoundtrip and the
+// conformance suite's SnapshotHygiene exercise directly, without an
+// event loop around it.
+type StateSnapshot struct {
+	Racks        int
+	BoxesPerRack int
+	Assignments  []AssignmentState
+	FailedBoxes  []int // rack-major global box indices
+	FailedLinks  []network.LinkRef
+
+	// SchedName names the scheduler the state was captured under; Sched
+	// holds its carried decision state when it has any (HasSched).
+	// Restore replays Sched only onto a scheduler of the same name —
+	// cross-algorithm restores (the experiment ladders' clone mode) start
+	// the new scheduler from its zero state instead.
+	SchedName string
+	Sched     sched.SchedulerState
+	HasSched  bool
+}
+
+// EventState is one serialized event-heap entry. A references the
+// snapshot's Assignments by index (-1 for none — arrivals, fault events,
+// and the ghost departures of displaced VMs). Entries are stored in the
+// heap's backing-array order and restored verbatim, preserving both the
+// heap property (any valid heap array round-trips) and the array scan
+// order evictDisplaced depends on.
+type EventState struct {
+	T    int64
+	Kind int
+	Seq  int
+	FX   int
+	VM   workload.VM
+	A    int
+}
+
+// QueuedVMState is one serialized retry-queue entry.
+type QueuedVMState struct {
+	VM        workload.VM
+	Displaced bool
+}
+
+// ReservoirState is the serializable position of one latency reservoir:
+// its buffer plus the (seed, draw-count) replay coordinates of its
+// sampling RNG, so a restored run keeps sampling exactly as the
+// original would have.
+type ReservoirState struct {
+	K     int
+	N     int64
+	Seed  int64
+	Draws uint64
+	Vals  []float64
+}
+
+// WindowerState is the serializable position of the windowed-metrics
+// integrator: the open window, its partial integrals, every closed
+// window, and the overall measured integral.
+type WindowerState struct {
+	Warmup, Window int64
+	Cur            WindowStats
+	CurIntegral    [units.NumResources]float64
+	Windows        []WindowStats
+	Overall        [units.NumResources]float64
+	Val            [units.NumResources]float64
+	LastT          int64
+}
+
+// Snapshot is the complete state of a RunStream execution at an event
+// boundary. It is plain data: gob-serializable (Encode/DecodeSnapshot),
+// deep-copyable (Clone), and immutable under ResumeStream.
+type Snapshot struct {
+	// T is the snapshot boundary (the arming StreamConfig.SnapshotAt):
+	// every event with time < T is reflected in the state, nothing at or
+	// after T is. LastT is the time of the last event actually processed
+	// (≤ T).
+	T     int64
+	LastT int64
+
+	State StateSnapshot
+
+	// Events is the pending event heap in backing-array order; Seq the
+	// next event sequence number.
+	Events []EventState
+	Seq    int
+
+	Resident int
+
+	Waiting []QueuedVMState
+	WaitSum float64
+
+	// PlanLen is the length of the fault plan the run was driven by, or
+	// -1 when it had none. Resuming a snapshot with PlanLen ≥ 0 requires
+	// the runner to carry a plan of exactly that length (the heap's fault
+	// events index into it); resuming a plan-free snapshot (PlanLen < 0)
+	// with a runner that has a plan schedules the plan's events from T on
+	// — the clone-mode ladders' "faults begin after the warm point".
+	PlanLen   int
+	DownCount []int
+
+	// Counters is the partial SteadyState at the boundary (Windows nil —
+	// they live in Windower until the run finishes; WallTime zero — wall
+	// clock restarts on resume).
+	Counters SteadyState
+	Windower WindowerState
+	Lat, Rep ReservoirState
+
+	// Stream is the workload stream's replay position, captured after
+	// drawing PendingVM: the stream's next yield is PendingVM's
+	// successor. More mirrors the run's arrival-budget flag.
+	Stream    workload.StreamState
+	PendingVM workload.VM
+	More      bool
+}
+
+// Clone returns a deep copy sharing nothing with s. ResumeStream never
+// mutates a snapshot, so cloning is only needed when a caller wants an
+// independently owned copy (e.g. to serialize one while resuming
+// another); the experiment ladders resume one snapshot many times
+// directly.
+func (s *Snapshot) Clone() *Snapshot {
+	c := *s
+	c.State.Assignments = make([]AssignmentState, len(s.State.Assignments))
+	for i, a := range s.State.Assignments {
+		a.CPU.Shares = append([]topology.BrickShare(nil), a.CPU.Shares...)
+		a.RAM.Shares = append([]topology.BrickShare(nil), a.RAM.Shares...)
+		a.STO.Shares = append([]topology.BrickShare(nil), a.STO.Shares...)
+		a.CPURAM.Links = append([]network.LinkRef(nil), a.CPURAM.Links...)
+		a.RAMSTO.Links = append([]network.LinkRef(nil), a.RAMSTO.Links...)
+		c.State.Assignments[i] = a
+	}
+	c.State.FailedBoxes = append([]int(nil), s.State.FailedBoxes...)
+	c.State.FailedLinks = append([]network.LinkRef(nil), s.State.FailedLinks...)
+	c.State.Sched.BoxCursors = append([][units.NumResources]int(nil), s.State.Sched.BoxCursors...)
+	c.Events = append([]EventState(nil), s.Events...)
+	c.Waiting = append([]QueuedVMState(nil), s.Waiting...)
+	c.DownCount = append([]int(nil), s.DownCount...)
+	c.Counters.Windows = append([]WindowStats(nil), s.Counters.Windows...)
+	c.Windower.Windows = append([]WindowStats(nil), s.Windower.Windows...)
+	c.Lat.Vals = append([]float64(nil), s.Lat.Vals...)
+	c.Rep.Vals = append([]float64(nil), s.Rep.Vals...)
+	return &c
+}
+
+// Encode writes the snapshot in gob form (the -snapshot/-restore CLI
+// crash-recovery format).
+func (s *Snapshot) Encode(w io.Writer) error { return gob.NewEncoder(w).Encode(s) }
+
+// DecodeSnapshot reads a snapshot written by Encode.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// CaptureState captures the datacenter planes and the scheduler's
+// carried state, with the live assignments serialized in the given
+// order (callers that also serialize an event heap pass them in heap
+// order so events can reference them by index). The state is read, not
+// mutated.
+func CaptureState(st *sched.State, sch sched.Scheduler, live []*sched.Assignment) (*StateSnapshot, error) {
+	cl := st.Cluster
+	bpr := cl.Config().BoxesPerRack()
+	snap := &StateSnapshot{
+		Racks:        cl.NumRacks(),
+		BoxesPerRack: bpr,
+		FailedBoxes:  cl.FailedBoxes(),
+		FailedLinks:  st.Fabric.FailedLinks(),
+	}
+	snap.Assignments = make([]AssignmentState, 0, len(live))
+	for _, a := range live {
+		if a == nil {
+			return nil, fmt.Errorf("sim: cannot capture a nil assignment")
+		}
+		snap.Assignments = append(snap.Assignments, AssignmentState{
+			VM:     a.VM,
+			CPU:    capturePlacement(bpr, a.CPU),
+			RAM:    capturePlacement(bpr, a.RAM),
+			STO:    capturePlacement(bpr, a.STO),
+			CPURAM: captureFlow(st.Fabric, a.CPURAMFlow),
+			RAMSTO: captureFlow(st.Fabric, a.RAMSTOFlow),
+		})
+	}
+	if sch != nil {
+		snap.SchedName = sch.Name()
+		if ss, ok := sch.(sched.StatefulScheduler); ok {
+			snap.Sched = ss.SchedulerState()
+			snap.HasSched = true
+		}
+	}
+	return snap, nil
+}
+
+// capturePlacement serializes one placement (Box -1 for the zero one).
+func capturePlacement(boxesPerRack int, p topology.Placement) PlacementState {
+	if p.IsZero() {
+		return PlacementState{Box: -1}
+	}
+	return PlacementState{
+		Box:    p.Box.Rack()*boxesPerRack + p.Box.Index(),
+		Shares: append([]topology.BrickShare(nil), p.Shares...),
+		Total:  p.Total,
+	}
+}
+
+// captureFlow serializes one flow (zero FlowState for nil).
+func captureFlow(f *network.Fabric, fl *network.Flow) FlowState {
+	if fl == nil {
+		return FlowState{}
+	}
+	fs := FlowState{Present: true, BW: fl.BW(), InterRack: fl.InterRack(), InterPod: fl.InterPod()}
+	for _, l := range fl.Links() {
+		fs.Links = append(fs.Links, f.Ref(l))
+	}
+	return fs
+}
+
+// RestoreState replays a captured state onto a pristine st: every live
+// assignment's placements are re-carved with their exact brick shares
+// and its flows re-reserved on their exact links, then hardware
+// failures are applied, then the scheduler's carried state is replayed
+// (only when sch bears the same name the state was captured under —
+// cross-algorithm restores start sch from its zero state). It returns
+// the restored assignments in the snapshot's order. On error the state
+// is partially mutated and must be discarded.
+func RestoreState(st *sched.State, sch sched.Scheduler, snap *StateSnapshot) ([]*sched.Assignment, error) {
+	cl := st.Cluster
+	if cl.NumRacks() != snap.Racks || cl.Config().BoxesPerRack() != snap.BoxesPerRack {
+		return nil, fmt.Errorf("sim: snapshot is for a %d-rack × %d-box cluster, state has %d × %d",
+			snap.Racks, snap.BoxesPerRack, cl.NumRacks(), cl.Config().BoxesPerRack())
+	}
+	if err := checkPristine(st); err != nil {
+		return nil, err
+	}
+	boxes := cl.Boxes()
+	live := make([]*sched.Assignment, 0, len(snap.Assignments))
+	for i := range snap.Assignments {
+		as := &snap.Assignments[i]
+		cpu, err := restorePlacement(cl, boxes, as.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("sim: VM %d CPU: %w", as.VM.ID, err)
+		}
+		ram, err := restorePlacement(cl, boxes, as.RAM)
+		if err != nil {
+			return nil, fmt.Errorf("sim: VM %d RAM: %w", as.VM.ID, err)
+		}
+		sto, err := restorePlacement(cl, boxes, as.STO)
+		if err != nil {
+			return nil, fmt.Errorf("sim: VM %d STO: %w", as.VM.ID, err)
+		}
+		cpuram, err := restoreFlow(st.Fabric, as.CPURAM)
+		if err != nil {
+			return nil, fmt.Errorf("sim: VM %d CPU-RAM flow: %w", as.VM.ID, err)
+		}
+		ramsto, err := restoreFlow(st.Fabric, as.RAMSTO)
+		if err != nil {
+			return nil, fmt.Errorf("sim: VM %d RAM-STO flow: %w", as.VM.ID, err)
+		}
+		live = append(live, st.RestoreAssignment(as.VM, cpu, ram, sto, cpuram, ramsto))
+	}
+	for _, bi := range snap.FailedBoxes {
+		if bi < 0 || bi >= len(boxes) {
+			return nil, fmt.Errorf("sim: failed box index %d out of range", bi)
+		}
+		cl.SetBoxFailed(boxes[bi], true)
+	}
+	for _, ref := range snap.FailedLinks {
+		l, err := st.Fabric.LinkByRef(ref)
+		if err != nil {
+			return nil, err
+		}
+		st.Fabric.SetLinkFailed(l, true)
+	}
+	if snap.HasSched && sch != nil && sch.Name() == snap.SchedName {
+		if ss, ok := sch.(sched.StatefulScheduler); ok {
+			ss.RestoreSchedulerState(snap.Sched)
+		}
+	}
+	return live, nil
+}
+
+// checkPristine rejects restore targets that already carry state: a
+// freshly built State has every plane at full capacity and no failures.
+func checkPristine(st *sched.State) error {
+	cl := st.Cluster
+	for _, k := range units.Resources() {
+		if cl.TotalFree(k) != cl.TotalCapacity(k) {
+			return fmt.Errorf("sim: restore target not pristine: %v free %d != capacity %d",
+				k, cl.TotalFree(k), cl.TotalCapacity(k))
+		}
+	}
+	f := st.Fabric
+	if f.IntraRackFree() != f.IntraRackCapacity() ||
+		f.InterRackFree() != f.InterRackCapacity() ||
+		f.InterPodFree() != f.InterPodCapacity() {
+		return fmt.Errorf("sim: restore target not pristine: fabric carries reservations")
+	}
+	if len(cl.FailedBoxes()) > 0 || len(f.FailedLinks()) > 0 {
+		return fmt.Errorf("sim: restore target not pristine: hardware failures present")
+	}
+	return nil
+}
+
+// restorePlacement re-carves one serialized placement.
+func restorePlacement(cl *topology.Cluster, boxes []*topology.Box, ps PlacementState) (topology.Placement, error) {
+	if ps.Box < 0 {
+		return topology.Placement{}, nil
+	}
+	if ps.Box >= len(boxes) {
+		return topology.Placement{}, fmt.Errorf("box index %d out of range", ps.Box)
+	}
+	return cl.RestorePlacement(boxes[ps.Box], ps.Shares)
+}
+
+// restoreFlow re-reserves one serialized flow (nil for the absent one).
+func restoreFlow(f *network.Fabric, fs FlowState) (*network.Flow, error) {
+	if !fs.Present {
+		return nil, nil
+	}
+	return f.RestoreFlow(fs.BW, fs.Links, fs.InterRack, fs.InterPod)
+}
+
+// capture assembles the full Snapshot at the current event boundary.
+// It only reads — the run can continue unperturbed afterwards.
+func (sr *streamRun) capture() (*Snapshot, error) {
+	if sr.burstFail || sr.burstRepair {
+		// Unreachable: a same-instant burst never spans the boundary
+		// (its events share one time < SnapshotAt). Guard loudly anyway.
+		return nil, fmt.Errorf("sim: internal: snapshot inside a same-instant fault burst")
+	}
+	snapper, ok := sr.s.(workload.StreamSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("sim: stream %q does not support snapshots", sr.s.Name())
+	}
+	snap := &Snapshot{
+		T:        sr.snapAt,
+		LastT:    sr.lastT,
+		Seq:      sr.seq,
+		Resident: sr.resident,
+		WaitSum:  sr.waitSum,
+		PlanLen:  -1,
+	}
+	live := make([]*sched.Assignment, 0, sr.h.Len())
+	snap.Events = make([]EventState, 0, sr.h.Len())
+	for i := range sr.h.s {
+		e := &sr.h.s[i]
+		if e.kind == inject {
+			return nil, fmt.Errorf("sim: cannot snapshot with a pending ad-hoc injection at t=%d (closures are not serializable)", e.t)
+		}
+		es := EventState{T: e.t, Kind: int(e.kind), Seq: e.seq, FX: e.fx, VM: e.vm, A: -1}
+		if e.kind == departure && e.a != nil {
+			es.A = len(live)
+			live = append(live, e.a)
+		}
+		snap.Events = append(snap.Events, es)
+	}
+	state, err := CaptureState(sr.r.st, sr.r.sch, live)
+	if err != nil {
+		return nil, err
+	}
+	snap.State = *state
+	for i := sr.wHead; i < len(sr.waiting); i++ {
+		q := sr.waiting[i]
+		snap.Waiting = append(snap.Waiting, QueuedVMState{VM: q.vm, Displaced: q.displaced})
+	}
+	if sr.r.plan != nil {
+		snap.PlanLen = len(sr.r.plan.Events)
+		snap.DownCount = append([]int(nil), sr.r.downCount...)
+	}
+	snap.Counters = *sr.res
+	snap.Counters.Windows = nil // res.Windows only materializes at finish
+	snap.Windower = sr.wind.state()
+	snap.Lat = sr.lat.state()
+	snap.Rep = sr.rep.state()
+	snap.Stream = snapper.StreamState()
+	snap.PendingVM = sr.pending
+	snap.More = sr.more
+	return snap, nil
+}
+
+// WarmStream runs the stream up to cfg.SnapshotAt (required) and returns
+// the snapshot captured there, leaving the runner's state warm. The
+// warm configuration's stop bounds (MaxArrivals, Duration, Warmup,
+// Window) must equal the resume configuration's for a resumed run to be
+// bit-identical to an uninterrupted one — the experiment ladders pass
+// the same StreamConfig to both. It fails if the run ends before the
+// snapshot point.
+func (r *Runner) WarmStream(s workload.Stream, cfg StreamConfig) (*Snapshot, error) {
+	if cfg.SnapshotAt <= 0 {
+		return nil, fmt.Errorf("sim: WarmStream requires SnapshotAt")
+	}
+	sr, err := r.newStreamRun(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sr.stopAtSnap = true
+	if err := sr.loop(); err != nil {
+		return nil, err
+	}
+	if sr.snap == nil {
+		return nil, fmt.Errorf("sim: stream %q ended at t=%d, before the snapshot point %d",
+			s.Name(), sr.lastT, cfg.SnapshotAt)
+	}
+	return sr.snap, nil
+}
+
+// ResumeStream continues a snapshotted run on this runner: the runner's
+// state must be pristine (it is restored from the snapshot), s must be
+// a pristine stream built with the same configuration as the snapshot's
+// (it is repositioned by replay), and cfg must carry the same stop
+// bounds as the warm run's for bit-identical equivalence (Warmup,
+// Window and the reservoir parameters are inherited from the snapshot;
+// cfg.Drain, SnapshotAt and OnSnapshot apply to the resumed part).
+//
+// Fault-plan linkage follows Snapshot.PlanLen: a snapshot taken under a
+// plan requires this runner to carry an equally long plan (the pending
+// fault events reference it by index); a plan-free snapshot resumed on
+// a runner with a plan schedules the plan's events from the snapshot
+// point on — events before it are dropped, which is exactly the
+// clone-mode ladders' fault-free warm semantics. Ad-hoc injections are
+// not resumable.
+//
+// The snapshot itself is never written to: many cells may resume the
+// same snapshot, including concurrently from separate goroutines each
+// with their own runner and stream.
+func (r *Runner) ResumeStream(s workload.Stream, snap *Snapshot, cfg StreamConfig) (*SteadyState, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(r.injections) > 0 {
+		return nil, fmt.Errorf("sim: cannot resume with ad-hoc injections (not part of the snapshot)")
+	}
+	if snap.PlanLen >= 0 {
+		if r.plan == nil || len(r.plan.Events) != snap.PlanLen {
+			got := 0
+			if r.plan != nil {
+				got = len(r.plan.Events)
+			}
+			return nil, fmt.Errorf("sim: snapshot was taken under a %d-event fault plan, runner has %d", snap.PlanLen, got)
+		}
+	}
+	snapper, ok := s.(workload.StreamSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("sim: stream %q does not support snapshots", s.Name())
+	}
+	live, err := RestoreState(r.st, r.sch, &snap.State)
+	if err != nil {
+		return nil, err
+	}
+	if err := snapper.RestoreStreamState(snap.Stream); err != nil {
+		return nil, err
+	}
+
+	obs, _ := s.(workload.UtilizationObserver)
+	resCopy := snap.Counters
+	resCopy.Algorithm = r.sch.Name()
+	resCopy.Workload = s.Name()
+	resCopy.Windows = nil
+	sr := &streamRun{
+		r: r, s: s, cfg: cfg, obs: obs,
+		res:      &resCopy,
+		lat:      restoreReservoir(snap.Lat),
+		rep:      restoreReservoir(snap.Rep),
+		wind:     restoreWindower(snap.Windower),
+		seq:      snap.Seq,
+		resident: snap.Resident,
+		lastT:    snap.LastT,
+		waitSum:  snap.WaitSum,
+		pending:  snap.PendingVM,
+		more:     snap.More,
+		snapAt:   cfg.SnapshotAt,
+		onSnap:   cfg.OnSnapshot,
+	}
+	// Rebuild the heap's backing array verbatim: the snapshot recorded a
+	// valid heap in array order, so assigning it preserves both the heap
+	// property and the eviction scan order.
+	sr.h.s = make([]event, len(snap.Events))
+	for i, es := range snap.Events {
+		e := event{t: es.T, kind: eventKind(es.Kind), seq: es.Seq, fx: es.FX, vm: es.VM}
+		if es.A >= 0 {
+			if es.A >= len(live) {
+				return nil, fmt.Errorf("sim: event %d references assignment %d of %d", i, es.A, len(live))
+			}
+			e.a = live[es.A]
+		}
+		sr.h.s[i] = e
+	}
+	for _, q := range snap.Waiting {
+		sr.waiting = append(sr.waiting, queuedVM{vm: q.VM, displaced: q.Displaced})
+	}
+	r.resetFaultCounts()
+	if snap.PlanLen >= 0 {
+		copy(r.downCount, snap.DownCount)
+	} else if r.plan != nil {
+		// Plan-free warm, planned resume: faults begin after the
+		// snapshot point. Events before it never apply.
+		for i := range r.plan.Events {
+			if r.plan.Events[i].T >= snap.T {
+				sr.h.Push(event{t: r.plan.Events[i].T, kind: fault, seq: sr.seq, fx: i})
+				sr.seq++
+			}
+		}
+	}
+	// The pending arrival was drawn under the warm bounds; re-apply this
+	// configuration's Duration to it (a no-op when the bounds agree). If
+	// it no longer fits, the run is already past its bound: stop before
+	// processing anything, exactly as a fresh run stops at its last
+	// in-bound arrival without draining the resident departures.
+	ranOut := false
+	if sr.more && cfg.Duration > 0 && sr.pending.Arrival > cfg.Duration {
+		sr.more = false
+		sr.res.TotalArrivals--
+		ranOut = true
+	}
+	sr.wallStart = time.Now()
+	if !ranOut {
+		if err := sr.loop(); err != nil {
+			return nil, err
+		}
+	}
+	return sr.finish(), nil
+}
+
+// state captures the windower's position.
+func (w *windower) state() WindowerState {
+	return WindowerState{
+		Warmup: w.warmup, Window: w.window,
+		Cur: w.cur, CurIntegral: w.curIntegral,
+		Windows: append([]WindowStats(nil), w.windows...),
+		Overall: w.overall, Val: w.val, LastT: w.lastT,
+	}
+}
+
+// restoreWindower rebuilds a windower from its captured position.
+func restoreWindower(ws WindowerState) *windower {
+	return &windower{
+		warmup: ws.Warmup, window: ws.Window,
+		cur: ws.Cur, curIntegral: ws.CurIntegral,
+		windows: append([]WindowStats(nil), ws.Windows...),
+		overall: ws.Overall, val: ws.Val, lastT: ws.LastT,
+	}
+}
+
+// state captures the reservoir's position.
+func (r *reservoir) state() ReservoirState {
+	return ReservoirState{
+		K: r.k, N: r.n, Seed: r.seed, Draws: r.src.Draws(),
+		Vals: append([]float64(nil), r.vals...),
+	}
+}
+
+// restoreReservoir rebuilds a reservoir from its captured position: the
+// buffer is copied and the sampling RNG replayed to its exact draw.
+func restoreReservoir(st ReservoirState) *reservoir {
+	r := newReservoir(st.K, st.Seed)
+	r.src.Replay(st.Seed, st.Draws)
+	r.n = st.N
+	r.vals = append(r.vals, st.Vals...)
+	return r
+}

@@ -1,0 +1,657 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"risa/internal/baseline"
+	"risa/internal/core"
+	"risa/internal/faults"
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// eqTopology is a small cluster so the equivalence matrix stays fast:
+// 6 racks × (2+2+2) boxes, 1536 units of each compute resource.
+func eqTopology() topology.Config {
+	cfg := topology.DefaultConfig()
+	cfg.Racks = 6
+	return cfg
+}
+
+func eqScheduler(t testing.TB, name string, st *sched.State) sched.Scheduler {
+	t.Helper()
+	switch name {
+	case "NULB":
+		return baseline.NewNULB(st)
+	case "NALB":
+		return baseline.NewNALB(st)
+	case "RISA":
+		return core.New(st)
+	case "RISA-BF":
+		return core.NewBF(st)
+	}
+	t.Fatalf("unknown scheduler %q", name)
+	return nil
+}
+
+var eqAlgorithms = []string{"NULB", "NALB", "RISA", "RISA-BF"}
+
+// eqStream builds the controlled synthetic stream the equivalence matrix
+// uses: the churn ladder's §5.1 mix with stationary lifetimes, loaded to
+// ~85% of the binding resource so placements, drops and the controller
+// all stay active. Each call returns a fresh, identically configured
+// stream — the snapshot contract repositions it by replay.
+func eqStream(t testing.TB) workload.Stream {
+	t.Helper()
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.LifetimeStep = 0
+	// 1536 units / (6300 tu × 16.5 mean req) ≈ 0.0148 VMs/tu at full
+	// occupancy; target 85% of it.
+	cfg.MeanInterarrival = 1 / (0.85 * 1536 / (6300 * 16.5))
+	cfg.Controller = &workload.UtilizationController{Target: 0.85}
+	s, err := cfg.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// eqPlan is the fault plan the under-faults equivalence cells share.
+func eqPlan(t testing.TB, horizon int64) *faults.Plan {
+	t.Helper()
+	tcfg := eqTopology()
+	plan, err := faults.Generate(faults.GenConfig{
+		Seed: 7, Horizon: horizon,
+		Racks: tcfg.Racks, BoxesPerRack: tcfg.BoxesPerRack(),
+		Box: faults.TierRates{MTBF: 30000, MTTR: 3000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// eqCase is one cell of the equivalence matrix.
+type eqCase struct {
+	name   string
+	sim    func(t testing.TB) Config // runner config (fault plan, evict, retry)
+	stream StreamConfig              // stop bounds shared by fresh/warm/resume
+}
+
+func eqCases() []eqCase {
+	churn := StreamConfig{MaxArrivals: 2500, Warmup: 12600, Window: 6300}
+	faulty := StreamConfig{Duration: 160000, Warmup: 12600, Window: 6300}
+	return []eqCase{
+		{
+			name:   "churn",
+			sim:    func(testing.TB) Config { return Config{} },
+			stream: churn,
+		},
+		{
+			name:   "churn-retry",
+			sim:    func(testing.TB) Config { return Config{RetryDropped: true} },
+			stream: churn,
+		},
+		{
+			name: "faults-evict-retry",
+			sim: func(t testing.TB) Config {
+				return Config{Faults: eqPlan(t, 160000), Evict: true, RetryDropped: true}
+			},
+			stream: faulty,
+		},
+	}
+}
+
+// eqRunner builds a pristine state + runner for one cell.
+func eqRunner(t testing.TB, alg string, cfg Config) (*sched.State, *Runner) {
+	t.Helper()
+	st, err := sched.NewState(eqTopology(), network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(st, eqScheduler(t, alg, st), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, r
+}
+
+// deterministic strips the wall-clock-derived fields (latency
+// percentile estimates and wall times), which legitimately differ
+// between two executions of the same simulation. Everything else —
+// counters, windows, utilization integrals, sample counts, simulated
+// times — must match bit for bit.
+func deterministic(ss *SteadyState) SteadyState {
+	c := *ss
+	c.LatencyP50, c.LatencyP95, c.LatencyP99 = 0, 0, 0
+	c.ReplaceP50, c.ReplaceP95, c.ReplaceP99 = 0, 0, 0
+	c.SchedulingTime, c.WallTime = 0, 0
+	return c
+}
+
+func requireEqual(t *testing.T, fresh, cloned *SteadyState) {
+	t.Helper()
+	f, c := deterministic(fresh), deterministic(cloned)
+	if !reflect.DeepEqual(f, c) {
+		t.Errorf("cloned run diverged from fresh run:\nfresh:  %+v\ncloned: %+v", f, c)
+	}
+}
+
+// TestSnapshotEquivalence is the tentpole acceptance suite: for every
+// scheduler × scenario, a warm-then-resume run must report windowed
+// metrics bit-identical to an uninterrupted fresh run.
+func TestSnapshotEquivalence(t *testing.T) {
+	const snapAt = 40000
+	for _, tc := range eqCases() {
+		for _, alg := range eqAlgorithms {
+			t.Run(tc.name+"/"+alg, func(t *testing.T) {
+				_, fr := eqRunner(t, alg, tc.sim(t))
+				fresh, err := fr.RunStream(eqStream(t), tc.stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				warmCfg := tc.stream
+				warmCfg.SnapshotAt = snapAt
+				_, wr := eqRunner(t, alg, tc.sim(t))
+				snap, err := wr.WarmStream(eqStream(t), warmCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if snap.T != snapAt || snap.LastT >= snapAt {
+					t.Fatalf("snapshot boundary: T=%d LastT=%d, want T=%d LastT<T", snap.T, snap.LastT, snapAt)
+				}
+
+				_, rr := eqRunner(t, alg, tc.sim(t))
+				resumed, err := rr.ResumeStream(eqStream(t), snap, tc.stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireEqual(t, fresh, resumed)
+				if fresh.Windows == nil || len(fresh.Windows) < 4 {
+					t.Fatalf("fixture too small: only %d windows", len(fresh.Windows))
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotObservationPurity: arming OnSnapshot on a full run must
+// not perturb it, and the mid-run capture must equal WarmStream's.
+func TestSnapshotObservationPurity(t *testing.T) {
+	cfg := StreamConfig{MaxArrivals: 2000, Warmup: 12600, Window: 6300}
+	_, plain := eqRunner(t, "RISA", Config{})
+	want, err := plain.RunStream(eqStream(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	observed := cfg
+	observed.SnapshotAt = 30000
+	var mid *Snapshot
+	observed.OnSnapshot = func(s *Snapshot) { mid = s }
+	_, obs := eqRunner(t, "RISA", Config{})
+	got, err := obs.RunStream(eqStream(t), observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, want, got)
+	if mid == nil {
+		t.Fatal("OnSnapshot never fired")
+	}
+
+	warm := cfg
+	warm.SnapshotAt = 30000
+	_, wr := eqRunner(t, "RISA", Config{})
+	snap, err := wr.WarmStream(eqStream(t), warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshots embed wall-clock observations (SchedulingTime, the
+	// reservoirs' sampled latency values); strip those before comparing
+	// — everything else must match exactly.
+	norm := func(s *Snapshot) *Snapshot {
+		c := s.Clone()
+		c.Counters = deterministic(&c.Counters)
+		c.Lat.Vals, c.Rep.Vals = nil, nil
+		return c
+	}
+	if !reflect.DeepEqual(norm(mid), norm(snap)) {
+		t.Error("mid-run snapshot differs from WarmStream snapshot")
+	}
+	if mid.Lat.N != snap.Lat.N || mid.Lat.Draws != snap.Lat.Draws || len(mid.Lat.Vals) != len(snap.Lat.Vals) {
+		t.Error("reservoir positions diverge between mid-run and warm captures")
+	}
+}
+
+// TestSnapshotSharedAcrossWidths resumes one snapshot from many
+// goroutines at once — the worker-pool pattern the experiment ladders
+// use — and every resume must agree with the serial one.
+func TestSnapshotSharedAcrossWidths(t *testing.T) {
+	cfg := StreamConfig{MaxArrivals: 2000, Warmup: 12600, Window: 6300}
+	warm := cfg
+	warm.SnapshotAt = 30000
+	_, wr := eqRunner(t, "RISA", Config{})
+	snap, err := wr.WarmStream(eqStream(t), warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sr := eqRunner(t, "RISA", Config{})
+	want, err := sr.ResumeStream(eqStream(t), snap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const width = 4
+	results := make([]*SteadyState, width)
+	errs := make([]error, width)
+	var wg sync.WaitGroup
+	for i := 0; i < width; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := sched.NewState(eqTopology(), network.DefaultConfig())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			r, err := NewRunner(st, core.New(st), Config{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cfgW := workload.DefaultSyntheticConfig()
+			cfgW.LifetimeStep = 0
+			cfgW.MeanInterarrival = 1 / (0.85 * 1536 / (6300 * 16.5))
+			cfgW.Controller = &workload.UtilizationController{Target: 0.85}
+			s, err := cfgW.NewStream()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = r.ResumeStream(s, snap, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < width; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		requireEqual(t, want, results[i])
+	}
+}
+
+// TestSnapshotCloneIsDeep: mutating a clone must not reach the original.
+func TestSnapshotCloneIsDeep(t *testing.T) {
+	warm := StreamConfig{MaxArrivals: 2000, Warmup: 12600, Window: 6300, SnapshotAt: 30000}
+	_, wr := eqRunner(t, "RISA", Config{Faults: eqPlan(t, 160000), Evict: true, RetryDropped: true})
+	snap, err := wr.WarmStream(eqStream(t), warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := snap.Clone()
+	if !reflect.DeepEqual(snap, clone) {
+		t.Fatal("clone not equal to original")
+	}
+	if len(clone.Events) > 0 {
+		clone.Events[0].T = -99
+	}
+	if len(clone.State.Assignments) > 0 {
+		as := &clone.State.Assignments[0]
+		if len(as.CPU.Shares) > 0 {
+			as.CPU.Shares[0].Amount = -99
+		}
+	}
+	clone.Windower.Windows = append(clone.Windower.Windows, WindowStats{})
+	if reflect.DeepEqual(snap, clone) {
+		t.Fatal("mutating the clone reached the original")
+	}
+}
+
+// TestSnapshotGobRoundtrip: the -snapshot/-restore serialization must
+// preserve resumability exactly.
+func TestSnapshotGobRoundtrip(t *testing.T) {
+	cfg := StreamConfig{MaxArrivals: 2000, Warmup: 12600, Window: 6300}
+	warm := cfg
+	warm.SnapshotAt = 30000
+	_, wr := eqRunner(t, "RISA", Config{})
+	snap, err := wr.WarmStream(eqStream(t), warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, r1 := eqRunner(t, "RISA", Config{})
+	want, err := r1.ResumeStream(eqStream(t), snap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r2 := eqRunner(t, "RISA", Config{})
+	got, err := r2.ResumeStream(eqStream(t), decoded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, want, got)
+}
+
+// TestResumeCrossAlgorithm: the clone-mode ladders warm with one
+// scheduler and resume with another; the resumed run must be
+// deterministic (the foreign scheduler starts from its zero state).
+func TestResumeCrossAlgorithm(t *testing.T) {
+	cfg := StreamConfig{MaxArrivals: 2000, Warmup: 12600, Window: 6300}
+	warm := cfg
+	warm.SnapshotAt = 30000
+	_, wr := eqRunner(t, "RISA", Config{})
+	snap, err := wr.WarmStream(eqStream(t), warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range eqAlgorithms {
+		var prev *SteadyState
+		for rep := 0; rep < 2; rep++ {
+			_, rr := eqRunner(t, alg, Config{})
+			got, err := rr.ResumeStream(eqStream(t), snap, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			if got.Algorithm != alg {
+				t.Fatalf("resumed run labeled %q, want %q", got.Algorithm, alg)
+			}
+			if prev != nil {
+				requireEqual(t, prev, got)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestResumePlanFreeWarmWithPlan: a fault-free warm snapshot resumed on
+// a runner with a plan schedules the plan's events from the snapshot
+// point on — deterministically, and with faults actually striking.
+func TestResumePlanFreeWarmWithPlan(t *testing.T) {
+	cfg := StreamConfig{Duration: 160000, Warmup: 12600, Window: 6300}
+	warm := cfg
+	warm.SnapshotAt = 30000
+	_, wr := eqRunner(t, "RISA", Config{})
+	snap, err := wr.WarmStream(eqStream(t), warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.PlanLen != -1 {
+		t.Fatalf("plan-free warm snapshot has PlanLen %d", snap.PlanLen)
+	}
+	var prev *SteadyState
+	for rep := 0; rep < 2; rep++ {
+		_, rr := eqRunner(t, "RISA", Config{Faults: eqPlan(t, 160000), Evict: true})
+		got, err := rr.ResumeStream(eqStream(t), snap, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Displaced == 0 {
+			t.Error("plan installed on resume displaced nobody — faults never struck")
+		}
+		if prev != nil {
+			requireEqual(t, prev, got)
+		}
+		prev = got
+	}
+}
+
+// TestSnapshotErrors covers the rejection paths.
+func TestSnapshotErrors(t *testing.T) {
+	cfg := StreamConfig{MaxArrivals: 500, Warmup: 0, Window: 1000}
+
+	t.Run("warm-requires-snapshot-at", func(t *testing.T) {
+		_, r := eqRunner(t, "RISA", Config{})
+		if _, err := r.WarmStream(eqStream(t), cfg); err == nil {
+			t.Fatal("WarmStream without SnapshotAt succeeded")
+		}
+	})
+	t.Run("on-snapshot-requires-snapshot-at", func(t *testing.T) {
+		bad := cfg
+		bad.OnSnapshot = func(*Snapshot) {}
+		_, r := eqRunner(t, "RISA", Config{})
+		if _, err := r.RunStream(eqStream(t), bad); err == nil {
+			t.Fatal("OnSnapshot without SnapshotAt succeeded")
+		}
+	})
+	t.Run("stream-ends-before-boundary", func(t *testing.T) {
+		warm := cfg
+		warm.SnapshotAt = 1 << 40
+		_, r := eqRunner(t, "RISA", Config{})
+		if _, err := r.WarmStream(eqStream(t), warm); err == nil {
+			t.Fatal("snapshot point past the run's end succeeded")
+		}
+	})
+	t.Run("trace-stream-supported", func(t *testing.T) {
+		// TraceStream snapshots too (its position is just an index).
+		tr := &workload.Trace{Name: "t"}
+		for i := 0; i < 200; i++ {
+			tr.VMs = append(tr.VMs, workload.VM{ID: i, Arrival: int64(i * 10), Lifetime: 300, Req: units.Vec(2, 2, 2)})
+		}
+		warm := StreamConfig{MaxArrivals: 200, Window: 500, SnapshotAt: 900}
+		_, r := eqRunner(t, "RISA", Config{})
+		snap, err := r.WarmStream(workload.NewTraceStream(tr), warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, r2 := eqRunner(t, "RISA", Config{})
+		if _, err := r2.ResumeStream(workload.NewTraceStream(tr), snap, StreamConfig{MaxArrivals: 200, Window: 500}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	warmCfg := cfg
+	warmCfg.SnapshotAt = 2000
+	_, wr := eqRunner(t, "RISA", Config{})
+	snap, err := wr.WarmStream(eqStream(t), warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plannedCfg := Config{Faults: eqPlan(t, 160000)}
+	_, pwr := eqRunner(t, "RISA", plannedCfg)
+	warmPlanned := warmCfg
+	warmPlanned.Duration, warmPlanned.MaxArrivals = 160000, 0
+	plannedSnap, err := pwr.WarmStream(eqStream(t), warmPlanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("resume-plan-length-mismatch", func(t *testing.T) {
+		_, rr := eqRunner(t, "RISA", Config{})
+		if _, err := rr.ResumeStream(eqStream(t), plannedSnap, cfg); err == nil {
+			t.Fatal("plan-bearing snapshot resumed without a plan")
+		}
+	})
+	t.Run("resume-with-injections", func(t *testing.T) {
+		_, rr := eqRunner(t, "RISA", Config{Injections: []Injection{{T: 5000, Do: func(*sched.State) {}}}})
+		if _, err := rr.ResumeStream(eqStream(t), snap, cfg); err == nil {
+			t.Fatal("resume with ad-hoc injections succeeded")
+		}
+	})
+	t.Run("capture-with-pending-injection", func(t *testing.T) {
+		inj := cfg
+		inj.SnapshotAt = 2000
+		_, r := eqRunner(t, "RISA", Config{Injections: []Injection{{T: 1 << 30, Do: func(*sched.State) {}}}})
+		if _, err := r.WarmStream(eqStream(t), inj); err == nil {
+			t.Fatal("capture with a pending injection succeeded")
+		}
+	})
+	t.Run("restore-into-dirty-state", func(t *testing.T) {
+		st, r := eqRunner(t, "RISA", Config{})
+		if _, err := r.sch.Schedule(workload.VM{ID: 1, Lifetime: 10, Req: units.Vec(4, 4, 4)}); err != nil {
+			t.Fatal(err)
+		}
+		_ = st
+		if _, err := r.ResumeStream(eqStream(t), snap, cfg); err == nil {
+			t.Fatal("resume into a dirty state succeeded")
+		}
+	})
+	t.Run("restore-dimension-mismatch", func(t *testing.T) {
+		tcfg := eqTopology()
+		tcfg.Racks = 4
+		st, err := sched.NewState(tcfg, network.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(st, core.New(st), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ResumeStream(eqStream(t), snap, cfg); err == nil {
+			t.Fatal("resume onto a smaller cluster succeeded")
+		}
+	})
+}
+
+// TestCaptureRestoreStateRoundtrip exercises the datacenter-plane
+// primitives directly: capture a loaded, partially failed state, restore
+// it into a pristine twin, and require every observable to match.
+func TestCaptureRestoreStateRoundtrip(t *testing.T) {
+	st, err := sched.NewState(eqTopology(), network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := core.New(st)
+	var live []*sched.Assignment
+	for i := 0; i < 120; i++ {
+		a, err := sch.Schedule(workload.VM{ID: i, Lifetime: 1000, Req: units.Vec(1+units.Amount(i%16), 1+units.Amount(i%24), 64)})
+		if err == nil {
+			live = append(live, a)
+		}
+	}
+	if len(live) < 100 {
+		t.Fatalf("only %d live placements", len(live))
+	}
+	// Release a few to fragment, then fail a box and a link.
+	for i := 0; i < len(live); i += 7 {
+		sch.Release(live[i])
+		live[i] = nil
+	}
+	compact := live[:0]
+	for _, a := range live {
+		if a != nil {
+			compact = append(compact, a)
+		}
+	}
+	live = compact
+	boxes := st.Cluster.Boxes()
+	st.Cluster.SetBoxFailed(boxes[3], true)
+	failLink, err := st.Fabric.LinkByRef(network.LinkRef{Tier: network.BoxUplink, Rack: 0, Box: 0, Index: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Fabric.SetLinkFailed(failLink, true)
+
+	snap, err := CaptureState(st, sch, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := sched.NewState(eqTopology(), network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch2 := core.New(st2)
+	live2, err := RestoreState(st2, sch2, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live2) != len(live) {
+		t.Fatalf("restored %d assignments, want %d", len(live2), len(live))
+	}
+	if err := st2.Cluster.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Fabric.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range units.Resources() {
+		if st.Cluster.TotalFree(k) != st2.Cluster.TotalFree(k) {
+			t.Errorf("%v free: %d vs %d", k, st.Cluster.TotalFree(k), st2.Cluster.TotalFree(k))
+		}
+	}
+	if st.Fabric.IntraRackFree() != st2.Fabric.IntraRackFree() ||
+		st.Fabric.InterRackFree() != st2.Fabric.InterRackFree() ||
+		st.Fabric.InterPodFree() != st2.Fabric.InterPodFree() {
+		t.Error("fabric aggregate frees diverge after restore")
+	}
+	snap2, err := CaptureState(st2, sch2, live2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, snap2) {
+		t.Error("re-captured state differs from the original capture")
+	}
+
+	// Both instances must now make identical decisions.
+	for i := 0; i < 50; i++ {
+		vm := workload.VM{ID: 10000 + i, Lifetime: 10, Req: units.Vec(units.Amount(1+i%8), units.Amount(1+i%8), 32)}
+		a1, err1 := sch.Schedule(vm)
+		a2, err2 := sch2.Schedule(vm)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("decision %d diverged: %v vs %v", i, err1, err2)
+		}
+		if err1 == nil {
+			if sig1, sig2 := placementSig(st, a1), placementSig(st2, a2); sig1 != sig2 {
+				t.Fatalf("decision %d placed differently: %s vs %s", i, sig1, sig2)
+			}
+		}
+	}
+}
+
+// placementSig summarizes where an assignment landed, for decision
+// comparison across instances.
+func placementSig(st *sched.State, a *sched.Assignment) string {
+	bpr := st.Cluster.Config().BoxesPerRack()
+	box := func(p topology.Placement) int {
+		if p.IsZero() {
+			return -1
+		}
+		return p.Box.Rack()*bpr + p.Box.Index()
+	}
+	return fmt.Sprintf("%d/%d/%d", box(a.CPU), box(a.RAM), box(a.STO))
+}
+
+// TestReservoirSnapshotPercentiles pins satellite 4: a restored
+// reservoir fed the same remaining values reports bit-identical
+// percentiles, including its sampling RNG position.
+func TestReservoirSnapshotPercentiles(t *testing.T) {
+	r := newReservoir(8, 42)
+	for i := 0; i < 100; i++ {
+		r.add(float64(i * 37 % 101))
+	}
+	st := r.state()
+	r2 := restoreReservoir(st)
+
+	for i := 100; i < 300; i++ {
+		v := float64(i * 61 % 211)
+		r.add(v)
+		r2.add(v)
+	}
+	if r.samples() != r2.samples() {
+		t.Fatalf("samples: %d vs %d", r.samples(), r2.samples())
+	}
+	for _, p := range []float64{50, 95, 99} {
+		if a, b := r.percentile(p), r2.percentile(p); a != b {
+			t.Errorf("p%.0f: %g vs %g", p, a, b)
+		}
+	}
+	if !reflect.DeepEqual(r.vals, r2.vals) {
+		t.Error("reservoir buffers diverged — sampling RNG not restored to position")
+	}
+}

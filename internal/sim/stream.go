@@ -41,6 +41,17 @@ type StreamConfig struct {
 	// all metrics — an emptying cluster is not steady state). The default
 	// stops at the last arrival and leaves the state loaded.
 	Drain bool
+
+	// SnapshotAt, when positive, arms warm-state capture: at the first
+	// event boundary with next-event time ≥ SnapshotAt the run's complete
+	// state is captured as a Snapshot (see snapshot.go for the
+	// determinism contract). RunStream delivers it through OnSnapshot and
+	// continues unperturbed; WarmStream stops there and returns it.
+	SnapshotAt int64
+	// OnSnapshot receives the captured snapshot during RunStream. The
+	// callback observes: it must not mutate the running simulation. It
+	// requires SnapshotAt > 0.
+	OnSnapshot func(*Snapshot)
 }
 
 // validate checks the configuration.
@@ -60,6 +71,12 @@ func (c StreamConfig) validate() error {
 	}
 	if c.ReservoirSize < 0 {
 		return fmt.Errorf("sim: negative reservoir size %d", c.ReservoirSize)
+	}
+	if c.SnapshotAt < 0 {
+		return fmt.Errorf("sim: negative snapshot point %d", c.SnapshotAt)
+	}
+	if c.OnSnapshot != nil && c.SnapshotAt <= 0 {
+		return fmt.Errorf("sim: OnSnapshot requires SnapshotAt")
 	}
 	return nil
 }
@@ -188,6 +205,64 @@ func (s *SteadyState) PlacementsPerSec() float64 {
 // utilization after every arrival, which is how the target-utilization
 // controller closes its loop.
 func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, error) {
+	sr, err := r.newStreamRun(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sr.loop(); err != nil {
+		return nil, err
+	}
+	return sr.finish(), nil
+}
+
+// streamRun is the complete live state of one RunStream execution,
+// extracted into a struct so the same event loop can be entered three
+// ways: fresh (RunStream), stopped at the snapshot boundary (WarmStream)
+// and re-entered from a restored snapshot (ResumeStream). Every field is
+// either snapshot state or derived from the configuration.
+type streamRun struct {
+	r   *Runner
+	s   workload.Stream
+	cfg StreamConfig
+	obs workload.UtilizationObserver
+
+	res  *SteadyState
+	lat  *reservoir
+	rep  *reservoir
+	wind *windower
+
+	h        eventQueue
+	seq      int
+	resident int
+	lastT    int64
+
+	// Retry queue: FIFO behind a head cursor, so the backing array is
+	// reused once fully drained instead of reallocated per wave.
+	waiting []queuedVM
+	wHead   int
+	waitSum float64
+
+	// Same-instant fault events form one atomic burst: all of them apply
+	// before any eviction or queue drain, so a correlated outage cannot
+	// leak VMs onto hardware that fails in the same tick.
+	burstFail, burstRepair bool
+
+	pending workload.VM
+	more    bool
+
+	wallStart time.Time
+
+	// Snapshot plumbing (see StreamConfig.SnapshotAt and snapshot.go).
+	snapAt     int64
+	onSnap     func(*Snapshot)
+	stopAtSnap bool
+	snap       *Snapshot
+}
+
+// newStreamRun validates the configuration and assembles a fresh run:
+// injections and fault-plan events seeded into the heap, counters at
+// zero, and the first arrival pulled.
+func (r *Runner) newStreamRun(s workload.Stream, cfg StreamConfig) (*streamRun, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -200,121 +275,150 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 		seed = 1
 	}
 	obs, _ := s.(workload.UtilizationObserver)
-	res := &SteadyState{Algorithm: r.sch.Name(), Workload: s.Name(), RateMultiplier: 1}
-	lat := newReservoir(size, seed)
-	rep := newReservoir(size, seed+1) // re-placement latencies, own stream
-	wind := &windower{warmup: cfg.Warmup, window: cfg.Window}
-
-	utilNow := func() (perRes [units.NumResources]float64, binding float64) {
-		for _, k := range units.Resources() {
-			u := r.st.Cluster.Utilization(k)
-			perRes[k] = u * 100
-			if u > binding {
-				binding = u
-			}
-		}
-		return
+	sr := &streamRun{
+		r: r, s: s, cfg: cfg, obs: obs,
+		res:    &SteadyState{Algorithm: r.sch.Name(), Workload: s.Name(), RateMultiplier: 1},
+		lat:    newReservoir(size, seed),
+		rep:    newReservoir(size, seed+1), // re-placement latencies, own stream
+		wind:   &windower{warmup: cfg.Warmup, window: cfg.Window},
+		snapAt: cfg.SnapshotAt,
+		onSnap: cfg.OnSnapshot,
 	}
-
-	var h eventQueue
-	seq := 0
 	for _, inj := range r.injections {
-		h.Push(event{t: inj.T, kind: inject, seq: seq, do: inj.Do})
-		seq++
+		sr.h.Push(event{t: inj.T, kind: inject, seq: sr.seq, do: inj.Do})
+		sr.seq++
 	}
 	if r.plan != nil {
 		for i := range r.plan.Events {
-			h.Push(event{t: r.plan.Events[i].T, kind: fault, seq: seq, fx: i})
-			seq++
+			sr.h.Push(event{t: r.plan.Events[i].T, kind: fault, seq: sr.seq, fx: i})
+			sr.seq++
 		}
 	}
-	resident := 0
-	var lastT int64
-	wallStart := time.Now()
-
-	// Retry queue: FIFO behind a head cursor, so the backing array is
-	// reused once fully drained instead of reallocated per wave.
-	var waiting []queuedVM
-	wHead := 0
-	var waitSum float64
-	// Same-instant fault events form one atomic burst: all of them apply
-	// before any eviction or queue drain, so a correlated outage cannot
-	// leak VMs onto hardware that fails in the same tick.
-	var burstFail, burstRepair bool
+	sr.wallStart = time.Now()
 	r.resetFaultCounts()
-	drainQueue := func(now int64, measured bool) {
-		for wHead < len(waiting) {
-			q := waiting[wHead]
-			start := time.Now()
-			a, err := r.sch.Schedule(q.vm)
-			res.SchedulingTime += time.Since(start)
-			if err != nil {
-				return // FIFO: the head blocks the rest
-			}
-			waiting[wHead] = queuedVM{}
-			wHead++
-			res.RetrySucceeded++
-			waitSum += float64(now - q.vm.Arrival)
-			resident++
-			if q.displaced {
-				// A late recovery: the VM already counted as accepted at
-				// its original arrival, so only the displacement outcome
-				// moves.
-				res.Recovered++
-				if measured {
-					wind.cur.Recovered++
-				}
-			} else {
-				res.TotalAccepted++
-				if measured {
-					res.Accepted++
-					wind.cur.Accepted++
-				}
-			}
-			h.Push(event{t: now + q.vm.Lifetime, kind: departure, seq: seq, vm: q.vm, a: a})
-			seq++
-		}
-		waiting = waiting[:0]
-		wHead = 0
-	}
 
-	pending, more := s.Next()
-	if more && cfg.Duration > 0 && pending.Arrival > cfg.Duration {
-		more = false // the very first arrival already lies beyond the bound
+	sr.pending, sr.more = s.Next()
+	if sr.more && cfg.Duration > 0 && sr.pending.Arrival > cfg.Duration {
+		sr.more = false // the very first arrival already lies beyond the bound
 	}
-	if more {
-		res.TotalArrivals++
+	if sr.more {
+		sr.res.TotalArrivals++
 	}
-	// The run ends with the arrival budget: simulating past the last
-	// arrival would only measure an emptying cluster, which is not steady
-	// state (Drain releases the survivors afterwards, unmetered). Fault
-	// events past the last arrival are likewise never applied.
-	for more || h.Len() > 0 {
-		var e event
-		if heapFirst(&h, pending, more) {
-			e = h.Pop()
+	return sr, nil
+}
+
+// utilNow reads the compute utilization signal: per resource in percent,
+// plus the binding (maximum) fraction for controller feedback.
+func (sr *streamRun) utilNow() (perRes [units.NumResources]float64, binding float64) {
+	for _, k := range units.Resources() {
+		u := sr.r.st.Cluster.Utilization(k)
+		perRes[k] = u * 100
+		if u > binding {
+			binding = u
+		}
+	}
+	return
+}
+
+// drainQueue retries the waiting queue head-first at time now.
+func (sr *streamRun) drainQueue(now int64, measured bool) {
+	r, res, wind := sr.r, sr.res, sr.wind
+	for sr.wHead < len(sr.waiting) {
+		q := sr.waiting[sr.wHead]
+		start := time.Now()
+		a, err := r.sch.Schedule(q.vm)
+		res.SchedulingTime += time.Since(start)
+		if err != nil {
+			return // FIFO: the head blocks the rest
+		}
+		sr.waiting[sr.wHead] = queuedVM{}
+		sr.wHead++
+		res.RetrySucceeded++
+		sr.waitSum += float64(now - q.vm.Arrival)
+		sr.resident++
+		if q.displaced {
+			// A late recovery: the VM already counted as accepted at
+			// its original arrival, so only the displacement outcome
+			// moves.
+			res.Recovered++
+			if measured {
+				wind.cur.Recovered++
+			}
 		} else {
-			e = event{t: pending.Arrival, kind: arrival, vm: pending}
+			res.TotalAccepted++
+			if measured {
+				res.Accepted++
+				wind.cur.Accepted++
+			}
+		}
+		sr.h.Push(event{t: now + q.vm.Lifetime, kind: departure, seq: sr.seq, vm: q.vm, a: a})
+		sr.seq++
+	}
+	sr.waiting = sr.waiting[:0]
+	sr.wHead = 0
+}
+
+// nextEventTime returns the time of the event the loop would process
+// next; the loop condition guarantees one exists.
+func (sr *streamRun) nextEventTime() int64 {
+	if heapFirst(&sr.h, sr.pending, sr.more) {
+		return sr.h.Min().t
+	}
+	return sr.pending.Arrival
+}
+
+// loop runs the event loop to the stop criterion — or, for WarmStream,
+// to the snapshot boundary. The run ends with the arrival budget:
+// simulating past the last arrival would only measure an emptying
+// cluster, which is not steady state (Drain releases the survivors
+// afterwards, unmetered). Fault events past the last arrival are
+// likewise never applied.
+func (sr *streamRun) loop() error {
+	r, res, wind := sr.r, sr.res, sr.wind
+	cfg := sr.cfg
+	for sr.more || sr.h.Len() > 0 {
+		if sr.snapAt > 0 && sr.snap == nil && sr.nextEventTime() >= sr.snapAt {
+			// The snapshot boundary: every event before SnapshotAt has been
+			// fully processed and nothing at or after it has started.
+			snap, err := sr.capture()
+			if err != nil {
+				return err
+			}
+			sr.snap = snap
+			if sr.onSnap != nil {
+				sr.onSnap(snap)
+			}
+			if sr.stopAtSnap {
+				return nil
+			}
+		}
+		var e event
+		if heapFirst(&sr.h, sr.pending, sr.more) {
+			e = sr.h.Pop()
+		} else {
+			e = event{t: sr.pending.Arrival, kind: arrival, vm: sr.pending}
 			// Stop criterion: pull the successor only while the arrival
 			// budget and the simulated-time bound both allow it.
 			if cfg.MaxArrivals > 0 && res.TotalArrivals >= cfg.MaxArrivals {
-				more = false
+				sr.more = false
 			} else {
-				pending, more = s.Next()
-				if more && cfg.Duration > 0 && pending.Arrival > cfg.Duration {
-					more = false
+				sr.pending, sr.more = sr.s.Next()
+				if sr.more && cfg.Duration > 0 && sr.pending.Arrival > cfg.Duration {
+					sr.more = false
 				}
-				if more {
+				if sr.more {
 					res.TotalArrivals++
 				}
 			}
 		}
-		if e.t < lastT {
-			return nil, fmt.Errorf("sim: stream %q time went backwards: %d < %d", s.Name(), e.t, lastT)
+		if e.t < sr.lastT {
+			return fmt.Errorf("sim: stream %q time went backwards: %d < %d", sr.s.Name(), e.t, sr.lastT)
 		}
 		wind.advance(e.t)
-		lastT = e.t
-		measured := e.t >= cfg.Warmup
+		sr.lastT = e.t
+		// wind.warmup, not cfg.Warmup: a resumed run inherits the warm
+		// phase's boundary from the snapshot (they agree on fresh runs).
+		measured := e.t >= wind.warmup
 
 		if e.kind == inject || e.kind == fault {
 			drain := false
@@ -325,15 +429,15 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 				ev := r.plan.Events[e.fx]
 				r.applyFault(ev)
 				if ev.Repair {
-					burstRepair = true
+					sr.burstRepair = true
 				} else {
-					burstFail = true
+					sr.burstFail = true
 				}
-				if sameInstantFaultPending(&h, e.t) {
+				if sameInstantFaultPending(&sr.h, e.t) {
 					continue // finish the whole same-instant burst first
 				}
-				if r.evict && burstFail {
-					r.evictDisplaced(&h, e.t, evictHooks{
+				if r.evict && sr.burstFail {
+					r.evictDisplaced(&sr.h, e.t, evictHooks{
 						after: func(a *sched.Assignment, recovered bool, d time.Duration) {
 							res.Displaced++
 							if measured {
@@ -343,18 +447,18 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 								res.Recovered++
 								if measured {
 									wind.cur.Recovered++
-									rep.add(float64(d))
+									sr.rep.add(float64(d))
 								}
 							}
 						},
 						lost: func(vm workload.VM) {
-							resident--
+							sr.resident--
 							if r.retry {
 								// Re-enters the queue now: wait measured
 								// from the eviction, lifetime restarting
 								// when re-placed.
 								vm.Arrival = e.t
-								waiting = append(waiting, queuedVM{vm: vm, displaced: true})
+								sr.waiting = append(sr.waiting, queuedVM{vm: vm, displaced: true})
 								res.Enqueued++
 								res.DisplacedQueued++
 							} else {
@@ -363,52 +467,52 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 						},
 					})
 				}
-				drain = burstRepair
-				burstFail, burstRepair = false, false
+				drain = sr.burstRepair
+				sr.burstFail, sr.burstRepair = false, false
 			}
 			if r.retry && drain {
-				drainQueue(e.t, measured) // freed capacity retries the queue
+				sr.drainQueue(e.t, measured) // freed capacity retries the queue
 			}
-			perRes, _ := utilNow()
+			perRes, _ := sr.utilNow()
 			wind.set(perRes)
 			continue
 		}
 		if e.kind == departure {
 			if e.a != nil { // nil: ghost of a displaced VM, already handled
 				r.sch.Release(e.a)
-				resident--
+				sr.resident--
 				if r.retry {
-					drainQueue(e.t, measured)
+					sr.drainQueue(e.t, measured)
 				}
 			}
-			perRes, _ := utilNow()
+			perRes, _ := sr.utilNow()
 			wind.set(perRes)
 			continue
 		}
 		if err := e.vm.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 		if measured {
 			res.Arrivals++
 			wind.cur.Arrivals++
 		}
-		if r.retry && wHead < len(waiting) {
+		if r.retry && sr.wHead < len(sr.waiting) {
 			// FIFO fairness: queued VMs go first; the arrival joins the
 			// tail and is not sampled as a direct decision.
-			waiting = append(waiting, queuedVM{vm: e.vm})
+			sr.waiting = append(sr.waiting, queuedVM{vm: e.vm})
 			res.Enqueued++
-			drainQueue(e.t, measured)
+			sr.drainQueue(e.t, measured)
 		} else {
 			start := time.Now()
 			a, err := r.sch.Schedule(e.vm)
 			d := time.Since(start)
 			res.SchedulingTime += d
 			if measured {
-				lat.add(float64(d))
+				sr.lat.add(float64(d))
 			}
 			if err != nil {
 				if r.retry {
-					waiting = append(waiting, queuedVM{vm: e.vm})
+					sr.waiting = append(sr.waiting, queuedVM{vm: e.vm})
 					res.Enqueued++
 				} else {
 					res.TotalDropped++
@@ -419,60 +523,67 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 				}
 			} else {
 				res.TotalAccepted++
-				resident++
+				sr.resident++
 				if measured {
 					res.Accepted++
 					wind.cur.Accepted++
 				}
-				h.Push(event{t: e.t + e.vm.Lifetime, kind: departure, seq: seq, vm: e.vm, a: a})
-				seq++
+				sr.h.Push(event{t: e.t + e.vm.Lifetime, kind: departure, seq: sr.seq, vm: e.vm, a: a})
+				sr.seq++
 			}
 		}
-		perRes, binding := utilNow()
+		perRes, binding := sr.utilNow()
 		wind.set(perRes)
-		if obs != nil {
-			obs.ObserveUtilization(binding)
+		if sr.obs != nil {
+			sr.obs.ObserveUtilization(binding)
 		}
-		if !more {
+		if !sr.more {
 			break // the arrival just processed was the last: stop here
 		}
 	}
-	res.WallTime = time.Since(wallStart)
+	return nil
+}
 
-	for i := wHead; i < len(waiting); i++ { // still queued: never placed
-		if waiting[i].displaced {
+// finish seals the run: leftover queue entries, aggregate averages,
+// percentile estimates and the optional drain.
+func (sr *streamRun) finish() *SteadyState {
+	res := sr.res
+	res.WallTime = time.Since(sr.wallStart)
+
+	for i := sr.wHead; i < len(sr.waiting); i++ { // still queued: never placed
+		if sr.waiting[i].displaced {
 			res.DisplacedLost++ // was accepted once; its re-admission failed
 		} else {
 			res.TotalDropped++
 		}
 	}
 	if res.RetrySucceeded > 0 {
-		res.MeanWait = waitSum / float64(res.RetrySucceeded)
+		res.MeanWait = sr.waitSum / float64(res.RetrySucceeded)
 	}
-	res.End = lastT
-	res.Resident = resident
-	res.Windows = wind.close(lastT)
-	res.AvgUtil = wind.overallAvg(lastT)
-	res.LatencySamples = lat.samples()
-	res.LatencyP50 = time.Duration(lat.percentile(50))
-	res.LatencyP95 = time.Duration(lat.percentile(95))
-	res.LatencyP99 = time.Duration(lat.percentile(99))
-	res.ReplaceSamples = rep.samples()
-	res.ReplaceP50 = time.Duration(rep.percentile(50))
-	res.ReplaceP95 = time.Duration(rep.percentile(95))
-	res.ReplaceP99 = time.Duration(rep.percentile(99))
-	res.RateMultiplier = finalMultiplier(s)
+	res.End = sr.lastT
+	res.Resident = sr.resident
+	res.Windows = sr.wind.close(sr.lastT)
+	res.AvgUtil = sr.wind.overallAvg(sr.lastT)
+	res.LatencySamples = sr.lat.samples()
+	res.LatencyP50 = time.Duration(sr.lat.percentile(50))
+	res.LatencyP95 = time.Duration(sr.lat.percentile(95))
+	res.LatencyP99 = time.Duration(sr.lat.percentile(99))
+	res.ReplaceSamples = sr.rep.samples()
+	res.ReplaceP50 = time.Duration(sr.rep.percentile(50))
+	res.ReplaceP95 = time.Duration(sr.rep.percentile(95))
+	res.ReplaceP99 = time.Duration(sr.rep.percentile(99))
+	res.RateMultiplier = finalMultiplier(sr.s)
 
-	if cfg.Drain {
+	if sr.cfg.Drain {
 		// Unmetered: release the survivors so the state ends empty.
-		for h.Len() > 0 {
-			e := h.Pop()
+		for sr.h.Len() > 0 {
+			e := sr.h.Pop()
 			if e.kind == departure && e.a != nil {
-				r.sch.Release(e.a)
+				sr.r.sch.Release(e.a)
 			}
 		}
 	}
-	return res, nil
+	return res
 }
 
 // heapFirst decides the merge order between the event heap's minimum and
@@ -597,7 +708,9 @@ func (w *windower) overallAvg(end int64) [units.NumResources]float64 {
 type reservoir struct {
 	k        int
 	n        int64
+	seed     int64
 	vals     []float64
+	src      *workload.CountingSource // counted so snapshots can replay it
 	rng      *rand.Rand
 	sorted   []float64 // reusable scratch copy of vals, sorted
 	sortedOK bool      // sorted reflects vals
@@ -605,7 +718,8 @@ type reservoir struct {
 
 // newReservoir returns a reservoir holding at most k samples.
 func newReservoir(k int, seed int64) *reservoir {
-	return &reservoir{k: k, vals: make([]float64, 0, k), rng: rand.New(rand.NewSource(seed))}
+	src := workload.NewCountingSource(seed)
+	return &reservoir{k: k, seed: seed, vals: make([]float64, 0, k), src: src, rng: rand.New(src)}
 }
 
 // add offers one observation to the reservoir.

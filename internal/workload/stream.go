@@ -165,6 +165,7 @@ func (c *UtilizationController) ObserveUtilization(util float64) {
 // stop. The finite Synthetic is exactly this stream's first N arrivals.
 type SyntheticStream struct {
 	cfg SyntheticConfig
+	src *CountingSource
 	rng *rand.Rand
 	now float64
 	i   int
@@ -180,7 +181,8 @@ func (c SyntheticConfig) NewStream() (*SyntheticStream, error) {
 	if err := c.validateStream(); err != nil {
 		return nil, err
 	}
-	return &SyntheticStream{cfg: c, rng: rand.New(rand.NewSource(c.Seed))}, nil
+	src := NewCountingSource(c.Seed)
+	return &SyntheticStream{cfg: c, src: src, rng: rand.New(src)}, nil
 }
 
 // Name implements Stream.
@@ -246,6 +248,7 @@ type AzureEmpiricalConfig struct {
 type AzureEmpiricalStream struct {
 	cfg      AzureEmpiricalConfig
 	name     string
+	src      *CountingSource
 	rng      *rand.Rand
 	cpu, ram cumulativeHist
 	now      float64
@@ -276,10 +279,12 @@ func NewAzureEmpirical(c AzureEmpiricalConfig) (*AzureEmpiricalStream, error) {
 			return nil, err
 		}
 	}
+	src := NewCountingSource(c.Seed)
 	return &AzureEmpiricalStream{
 		cfg:  c,
 		name: "azure-empirical-" + spec.Name,
-		rng:  rand.New(rand.NewSource(c.Seed)),
+		src:  src,
+		rng:  rand.New(src),
 		cpu:  newCumulativeHist(spec.CPU),
 		ram:  newCumulativeHist(spec.RAM),
 	}, nil
