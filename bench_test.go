@@ -580,7 +580,7 @@ func BenchmarkAllocateVM(b *testing.B) {
 // worker.
 func BenchmarkChurnSteadyState(b *testing.B) {
 	setup := experiments.DefaultSetup()
-	cfg := sim.StreamConfig{MaxArrivals: 20000, Warmup: 12600, Window: 6300}
+	cfg := sim.StreamConfig{Workload: sim.StreamWorkload{MaxArrivals: 20000}, Windows: sim.StreamWindows{Warmup: 12600, Window: 6300}}
 	rung := experiments.ChurnRung{Label: "75%", Target: 0.75}
 	var perSec float64
 	b.ReportAllocs()
@@ -595,4 +595,86 @@ func BenchmarkChurnSteadyState(b *testing.B) {
 		perSec = res.PlacementsPerSec()
 	}
 	b.ReportMetric(perSec, "placements/s")
+}
+
+// BenchmarkChurnAgents measures the concurrent-agent speedup on a
+// network-gated churn cell: 96 racks with thin box uplinks at an 80 %
+// occupancy target, where a large fraction of arrivals exhausts both
+// placement tiers — the regime where serial scheduling burns most of its
+// time proving drops, and where the agent pool's parallel conclusive
+// certificates pay off. agents1 runs the bit-identical serial path;
+// agents4 fans proposals over four shards and commits serially. (No
+// hyphen before the count: allocguard's name normalizer strips a
+// trailing -<digits> GOMAXPROCS suffix, which would eat "-4".)
+//
+// Two throughput metrics per sub-benchmark: wall-p/s divides by the
+// host's observed wall time, sched-p/s by the critical-path
+// SchedulingTime (settle + slowest agent's propose per round + serial
+// commit section — see DESIGN.md §12). On a host with a core per agent
+// the two converge; on fewer cores wall-p/s understates the speedup by
+// the timeslicing factor while sched-p/s stays the scaling figure.
+// benchguard runs the sub-benchmarks in interleaved A/B rounds;
+// EXPERIMENTS.md records the measured ratios.
+func BenchmarkChurnAgents(b *testing.B) {
+	for _, agents := range []int{1, 4} {
+		b.Run(fmt.Sprintf("agents%d", agents), func(b *testing.B) {
+			setup := experiments.DefaultSetup()
+			setup.Topology.Racks = 96
+			setup.Network.BoxUplinks = 4
+			cfg := sim.StreamConfig{
+				Workload:    sim.StreamWorkload{MaxArrivals: 20000},
+				Windows:     sim.StreamWindows{Warmup: 12600, Window: 6300},
+				Concurrency: sim.StreamConcurrency{Agents: agents, Round: 64 * min(agents-1, 1)},
+			}
+			rung := experiments.ChurnRung{Label: "80%", Target: 0.80}
+			var wallPS, schedPS float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := setup.RunChurnCell("RISA", rung, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalAccepted == 0 {
+					b.Fatal("churn cell placed nothing")
+				}
+				wallPS = res.PlacementsPerSec()
+				schedPS = float64(res.TotalAccepted) / res.SchedulingTime.Seconds()
+			}
+			b.ReportMetric(wallPS, "wall-p/s")
+			b.ReportMetric(schedPS, "sched-p/s")
+		})
+	}
+}
+
+// BenchmarkProposeCommit pins the zero-allocation contract of the agent
+// commit path: one settle + Propose + CommitProposal + release per
+// iteration, the exact per-VM sequence the agent loop's happy path
+// performs. Guarded at 0 allocs/op by scripts/ci/allocguard.sh next to
+// the serial Schedule benchmarks.
+func BenchmarkProposeCommit(b *testing.B) {
+	st, err := sched.NewState(topology.DefaultConfig(), network.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.New(st)
+	vm := workload.VM{ID: 0, Lifetime: 1, Req: units.Vec(8, 16, 128)}
+	shard := make(sched.RackMask, st.Cluster.NumRacks())
+	for i := range shard {
+		shard[i] = true
+	}
+	st.Cluster.Settle()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Cluster.Settle()
+		p, ok := s.Propose(vm, shard)
+		if !ok {
+			b.Fatal("fresh cluster must yield a proposal")
+		}
+		a, err := st.CommitProposal(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.ReleaseVM(a)
+	}
 }

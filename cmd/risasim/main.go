@@ -15,6 +15,7 @@
 //	risasim -exp churn               # steady-state ladder, 100k arrivals/rung
 //	risasim -exp churn -target-util 0.8   # one rung at 80% occupancy
 //	risasim -exp churn -duration 50000    # time-capped rungs (smoke)
+//	risasim -exp churn -agents 4          # serial vs 4 concurrent allocation agents
 //	risasim -exp faults              # availability ladder, MTBF × utilization
 //	risasim -exp faults -evict       # with displaced-VM recovery
 //	risasim -exp faults -mtbf 10000 -mttr 1000   # one custom MTBF rung
@@ -59,6 +60,7 @@ type options struct {
 	mttr       int64
 	evict      bool
 	clone      bool
+	agents     int
 	snapshot   string
 	restore    string
 	cpuprofile string
@@ -80,6 +82,7 @@ func parseArgs(args []string) (options, error) {
 	fs.Int64Var(&o.mtbf, "mtbf", 0, "for -exp faults: per-box mean time between failures in time units (0 = default calm/storm MTBF ladder)")
 	fs.Int64Var(&o.mttr, "mttr", experiments.DefaultFaultMTTR, "for -exp faults: per-box mean time to repair in time units")
 	fs.BoolVar(&o.evict, "evict", false, "for -exp faults: evict VMs from failed hardware and re-place them through the scheduler (default: VMs ride out outages in place)")
+	fs.IntVar(&o.agents, "agents", 1, "for -exp churn: also run each rung with this many concurrent allocation agents (1 = serial only)")
 	fs.BoolVar(&o.clone, "clone", false, "for -exp churn/faults: share one warm state per rung across all algorithm cells instead of warming each cell separately (controlled comparison; not comparable to the fresh-warmup ladder)")
 	fs.StringVar(&o.snapshot, "snapshot", "", "for -exp churn: warm one RISA cell, save its warm state to this file, then finish the run")
 	fs.StringVar(&o.restore, "restore", "", "for -exp churn: resume a warm state saved by -snapshot, skipping the warmup")
@@ -114,6 +117,15 @@ func parseArgs(args []string) (options, error) {
 	if o.mttr <= 0 {
 		return o, fmt.Errorf("-mttr must be positive, got %d", o.mttr)
 	}
+	if o.agents < 1 {
+		return o, fmt.Errorf("-agents must be at least 1, got %d", o.agents)
+	}
+	if o.agents > 1 && o.exp != "churn" {
+		return o, fmt.Errorf("-agents requires -exp churn, got -exp %s", o.exp)
+	}
+	if o.agents > 1 && o.clone {
+		return o, fmt.Errorf("-agents and -clone are mutually exclusive (agent mode cannot resume snapshots)")
+	}
 	if o.snapshot != "" && o.restore != "" {
 		return o, fmt.Errorf("-snapshot and -restore are mutually exclusive")
 	}
@@ -146,6 +158,11 @@ func faultsConfig(o options) experiments.FaultsConfig {
 // -target-util is given and time-capped by -duration.
 func churnConfig(o options) experiments.ChurnConfig {
 	cfg := experiments.ChurnConfig{Duration: o.duration, Clone: o.clone}
+	if o.agents > 1 {
+		// Run the serial rung alongside the agent rung so the table shows
+		// the concurrency effect per utilization level.
+		cfg.Agents = []int{1, o.agents}
+	}
 	if o.targetUtil > 0 {
 		// %.4g keeps labels clean for fractions like 0.55, where
 		// targetUtil*100 is not exactly 55 in float64.

@@ -74,10 +74,8 @@ func (f snapshotFile) rung() experiments.ChurnRung {
 // streamCfg returns the cell's full-run stream configuration.
 func (f snapshotFile) streamCfg() sim.StreamConfig {
 	return sim.StreamConfig{
-		MaxArrivals: f.Arrivals,
-		Duration:    f.Duration,
-		Warmup:      f.Warmup,
-		Window:      f.Window,
+		Workload: sim.StreamWorkload{MaxArrivals: f.Arrivals, Duration: f.Duration},
+		Windows:  sim.StreamWindows{Warmup: f.Warmup, Window: f.Window},
 	}
 }
 
@@ -87,7 +85,7 @@ func (f snapshotFile) streamCfg() sim.StreamConfig {
 func runSnapshotSave(o options, path string) error {
 	f := snapshotCell(o)
 	warmCfg := f.streamCfg()
-	warmCfg.SnapshotAt = f.Warmup
+	warmCfg.Snapshot.At = f.Warmup
 	setup := f.setupFor()
 	snap, err := setup.WarmChurnCell("RISA", f.rung(), warmCfg)
 	if err != nil {

@@ -1,0 +1,75 @@
+// Optimistic propose support (DESIGN.md §12): the single-rack, read-only
+// form of the Zervas placement, used by the concurrent agent pool so the
+// NULB/NALB baselines scale with RISA in the agents comparison.
+package baseline
+
+import (
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+func init() {
+	sched.Register("NULB", func(st *sched.State, _ sched.Options) sched.Scheduler { return NewNULB(st) })
+	sched.Register("NALB", func(st *sched.State, _ sched.Options) sched.Scheduler { return NewNALB(st) })
+}
+
+// Compile-time check: the agent pool drives zervas through Propose.
+var _ sched.Proposer = (*zervas)(nil)
+
+// Propose implements sched.Proposer: Algorithm 2's placement restricted
+// to the case where every component lands in the scarce box's home rack,
+// computed without mutating shared state. The scarce resource takes the
+// first fitting box among the shard's racks (the same global-order scan
+// as Schedule, shard-masked); the remaining resources must be satisfied
+// inside that home rack under the usual level ordering (NALB's
+// descending-uplink reorder included). A VM whose placement would have
+// to leave the home rack returns ok=false and is scheduled serially —
+// the BFS over other racks has no single-rack claim to make.
+//
+// Like every Proposer, this requires the cluster's lazy index tiers to
+// be settled first (Cluster.Settle); NextRackWith and the level scans
+// are pure reads then.
+func (z *zervas) Propose(vm workload.VM, shard sched.RackMask) (sched.Proposal, bool) {
+	var p sched.Proposal
+	cl := z.st.Cluster
+	resMax, ok := sched.ScarcestResource(cl, vm.Req)
+	if !ok {
+		return p, false
+	}
+	first := z.firstBox(resMax, vm.Req[resMax], shard)
+	if first == nil {
+		return p, false
+	}
+	home := first.Rack()
+	var boxes sched.BoxTriple
+	boxes[resMax] = first
+	for _, r := range units.Resources() {
+		if r == resMax || vm.Req[r] == 0 {
+			continue
+		}
+		b := z.pickFromLevel(cl.Rack(home).BoxesOf(r), vm.Req[r])
+		if b == nil {
+			return p, false // needs a second rack: serial territory
+		}
+		boxes[r] = b
+	}
+	policy := network.FirstFit
+	if z.nalb {
+		policy = network.MaxAvail
+	}
+	cfg := z.st.Units()
+	fab := z.st.Fabric
+	if boxes[units.CPU] != nil && boxes[units.RAM] != nil &&
+		!fab.FlowFeasible(boxes[units.CPU], boxes[units.RAM], cfg.CPURAMDemand(vm.Req), policy) {
+		return p, false
+	}
+	if boxes[units.RAM] != nil && boxes[units.Storage] != nil &&
+		!fab.FlowFeasible(boxes[units.RAM], boxes[units.Storage], cfg.RAMSTODemand(vm.Req), policy) {
+		return p, false
+	}
+	p = sched.Proposal{VM: vm, Boxes: boxes, Policy: policy}
+	p.Claim(home, cl.RackGen(home), fab.RackGen(home))
+	return p, true
+}

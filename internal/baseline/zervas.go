@@ -52,6 +52,12 @@ func NewNALB(st *sched.State) sched.Scheduler { return &zervas{st: st, nalb: tru
 type MaskedScheduler interface {
 	sched.Scheduler
 	ScheduleMasked(vm workload.VM, masks Masks) (*sched.Assignment, error)
+	// ChooseMasked computes ScheduleMasked's placement choice alone —
+	// the scarce box and the BFS for the remaining resources — without
+	// touching the network phase or allocating anything. Pure reads
+	// against a settled cluster; the propose path builds fallback-tier
+	// claims from it.
+	ChooseMasked(vm workload.VM, masks Masks) (sched.BoxTriple, network.Policy, error)
 }
 
 // NewNULBMasked returns NULB exposed with its maskable entry point for use
@@ -76,22 +82,38 @@ func (z *zervas) Release(a *sched.Assignment) { z.st.ReleaseVM(a) }
 
 // ScheduleMasked runs Algorithm 2 restricted to the masked racks.
 func (z *zervas) ScheduleMasked(vm workload.VM, masks Masks) (*sched.Assignment, error) {
+	boxes, policy, err := z.ChooseMasked(vm, masks)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: network allocation. NULB takes the first links that fit,
+	// NALB the links with the most available bandwidth.
+	return z.st.AllocateVM(vm, boxes, policy)
+}
+
+// ChooseMasked implements MaskedScheduler: phases 1a and 1b of
+// Algorithm 2 — the box choice — with no allocation and no writes.
+func (z *zervas) ChooseMasked(vm workload.VM, masks Masks) (sched.BoxTriple, network.Policy, error) {
+	var boxes sched.BoxTriple
+	policy := network.FirstFit
+	if z.nalb {
+		policy = network.MaxAvail
+	}
 	cl := z.st.Cluster
 	resMax, ok := sched.ScarcestResource(cl, vm.Req)
 	if !ok {
-		return nil, fmt.Errorf("baseline: VM %d requests nothing", vm.ID)
+		return boxes, policy, fmt.Errorf("baseline: VM %d requests nothing", vm.ID)
 	}
 
 	// Phase 1a: the first box anywhere that can hold the scarcest
 	// resource (global rack-major, box-index order).
 	first := z.firstBox(resMax, vm.Req[resMax], masks[resMax])
 	if first == nil {
-		return nil, fmt.Errorf("baseline: VM %d: no box with %d %s free",
+		return boxes, policy, fmt.Errorf("baseline: VM %d: no box with %d %s free",
 			vm.ID, vm.Req[resMax], resMax.Native())
 	}
 
 	// Phase 1b: BFS outwards from the scarce box for the other resources.
-	var boxes sched.BoxTriple
 	boxes[resMax] = first
 	for _, r := range units.Resources() {
 		if r == resMax || vm.Req[r] == 0 {
@@ -99,19 +121,12 @@ func (z *zervas) ScheduleMasked(vm workload.VM, masks Masks) (*sched.Assignment,
 		}
 		b := z.bfsFind(first.Rack(), r, vm.Req[r], masks[r])
 		if b == nil {
-			return nil, fmt.Errorf("baseline: VM %d: no box with %d %s free reachable from rack %d",
+			return boxes, policy, fmt.Errorf("baseline: VM %d: no box with %d %s free reachable from rack %d",
 				vm.ID, vm.Req[r], r.Native(), first.Rack())
 		}
 		boxes[r] = b
 	}
-
-	// Phase 2: network allocation. NULB takes the first links that fit,
-	// NALB the links with the most available bandwidth.
-	policy := network.FirstFit
-	if z.nalb {
-		policy = network.MaxAvail
-	}
-	return z.st.AllocateVM(vm, boxes, policy)
+	return boxes, policy, nil
 }
 
 // firstBox returns the first box in global order holding kind r with

@@ -21,6 +21,12 @@ type Stats struct {
 	RacksProbed int
 	// Dropped counts VMs neither path could place.
 	Dropped int
+	// ConclusiveDrops counts agent-mode VMs dropped on a conclusive
+	// Propose failure — both tiers checked read-only, no serial redo
+	// (sched.ConclusiveProposer). These VMs bump Dropped but neither
+	// PoolEmpty nor NetGated: the walk that distinguishes the two is
+	// exactly what the conclusive drop skips.
+	ConclusiveDrops int
 }
 
 // Stats returns a copy of the counters.

@@ -43,6 +43,13 @@ type ChurnConfig struct {
 	// Rungs is the utilization ladder (default DefaultChurnRungs).
 	Rungs []ChurnRung
 
+	// Agents is the concurrent-agents axis: every rung runs once per
+	// entry, with that many allocation agents proposing placements
+	// optimistically (sim.StreamConcurrency). Empty means []int{1}, the
+	// serial ladder — whose output is bit-identical to the pre-axis one.
+	// Incompatible with Clone (agent mode cannot resume snapshots).
+	Agents []int
+
 	// Clone switches the ladder to warm-state sharing: each rung's
 	// cluster is warmed ONCE (under RISA, the paper's scheduler) to the
 	// end of warmup, snapshotted there, and every algorithm cell resumes
@@ -85,9 +92,11 @@ func ChurnPhases(duration int64) (warmup, window int64) {
 	return warmup, window
 }
 
-// ChurnCell is one (rung, algorithm) steady-state run.
+// ChurnCell is one (rung, agents, algorithm) steady-state run. Agents is
+// the concurrent-agent count the cell ran under (1 = serial).
 type ChurnCell struct {
 	Rung      ChurnRung
+	Agents    int
 	Algorithm string
 	Result    *sim.SteadyState
 }
@@ -166,6 +175,18 @@ func (s Setup) RunChurn(cfg ChurnConfig) (*Churn, error) {
 			return nil, fmt.Errorf("experiments: churn rung %q target must be positive, got %g", r.Label, r.Target)
 		}
 	}
+	agents := cfg.Agents
+	if len(agents) == 0 {
+		agents = []int{1}
+	}
+	for _, a := range agents {
+		if a <= 0 {
+			return nil, fmt.Errorf("experiments: churn agent count must be positive, got %d", a)
+		}
+		if cfg.Clone && a > 1 {
+			return nil, fmt.Errorf("experiments: the churn agents axis is incompatible with Clone (agent mode cannot resume snapshots)")
+		}
+	}
 	base := workload.DefaultSyntheticConfig()
 	warmup, window := ChurnPhases(cfg.Duration)
 	if cfg.Clone {
@@ -173,10 +194,12 @@ func (s Setup) RunChurn(cfg ChurnConfig) (*Churn, error) {
 	}
 
 	out := &Churn{Setup: s, Arrivals: cfg.Arrivals, Duration: cfg.Duration, Lifetime: base.LifetimeBase}
-	out.Cells = make([]ChurnCell, 0, len(cfg.Rungs)*len(Algorithms))
+	out.Cells = make([]ChurnCell, 0, len(cfg.Rungs)*len(agents)*len(Algorithms))
 	for _, rung := range cfg.Rungs {
-		for _, alg := range Algorithms {
-			out.Cells = append(out.Cells, ChurnCell{Rung: rung, Algorithm: alg})
+		for _, a := range agents {
+			for _, alg := range Algorithms {
+				out.Cells = append(out.Cells, ChurnCell{Rung: rung, Agents: a, Algorithm: alg})
+			}
 		}
 	}
 
@@ -184,10 +207,9 @@ func (s Setup) RunChurn(cfg ChurnConfig) (*Churn, error) {
 	Engine{}.ForEach(len(out.Cells), func(i int) {
 		cell := &out.Cells[i]
 		cell.Result, errs[i] = s.RunChurnCell(cell.Algorithm, cell.Rung, sim.StreamConfig{
-			MaxArrivals: cfg.Arrivals,
-			Duration:    cfg.Duration,
-			Warmup:      warmup,
-			Window:      window,
+			Workload:    sim.StreamWorkload{MaxArrivals: cfg.Arrivals, Duration: cfg.Duration},
+			Windows:     sim.StreamWindows{Warmup: warmup, Window: window},
+			Concurrency: sim.StreamConcurrency{Agents: cell.Agents},
 		})
 	})
 	for i, err := range errs {
@@ -216,17 +238,15 @@ func (s Setup) runChurnCloned(cfg ChurnConfig, lifetime int64) (*Churn, error) {
 		duration = warmup + int64(cfg.CloneWindows+1)*window
 	}
 	streamCfg := sim.StreamConfig{
-		MaxArrivals: cfg.Arrivals,
-		Duration:    duration,
-		Warmup:      warmup,
-		Window:      window,
+		Workload: sim.StreamWorkload{MaxArrivals: cfg.Arrivals, Duration: duration},
+		Windows:  sim.StreamWindows{Warmup: warmup, Window: window},
 	}
 
 	out := &Churn{Setup: s, Arrivals: cfg.Arrivals, Duration: duration, Cloned: true, Lifetime: lifetime}
 	out.Cells = make([]ChurnCell, 0, len(cfg.Rungs)*len(Algorithms))
 	for _, rung := range cfg.Rungs {
 		for _, alg := range Algorithms {
-			out.Cells = append(out.Cells, ChurnCell{Rung: rung, Algorithm: alg})
+			out.Cells = append(out.Cells, ChurnCell{Rung: rung, Agents: 1, Algorithm: alg})
 		}
 	}
 
@@ -234,7 +254,7 @@ func (s Setup) runChurnCloned(cfg ChurnConfig, lifetime int64) (*Churn, error) {
 	snaps := make([]*sim.Snapshot, len(cfg.Rungs))
 	warmErrs := make([]error, len(cfg.Rungs))
 	warmCfg := streamCfg
-	warmCfg.SnapshotAt = warmup
+	warmCfg.Snapshot.At = warmup
 	Engine{}.ForEach(len(cfg.Rungs), func(i int) {
 		snaps[i], warmErrs[i] = s.WarmChurnCell("RISA", cfg.Rungs[i], warmCfg)
 	})
@@ -299,7 +319,7 @@ func (s Setup) RunChurnCell(algorithm string, rung ChurnRung, cfg sim.StreamConf
 	return runner.RunStream(stream, cfg)
 }
 
-// WarmChurnCell runs one churn cell up to cfg.SnapshotAt (required) and
+// WarmChurnCell runs one churn cell up to cfg.Snapshot.At (required) and
 // returns the warm-state snapshot captured there. The snapshot is
 // immutable and may be resumed any number of times, concurrently.
 func (s Setup) WarmChurnCell(algorithm string, rung ChurnRung, cfg sim.StreamConfig) (*sim.Snapshot, error) {
@@ -356,7 +376,11 @@ func (c *Churn) Render() string {
 	b.WriteString(" latency percentiles and placements/s are wall-clock — regenerate with -parallel 1 for honest timings)\n")
 	for _, cell := range c.Cells {
 		if cell.Algorithm == Algorithms[0] {
-			fmt.Fprintf(&b, "rung %-9s target %.0f%% binding utilization\n", cell.Rung.Label, cell.Rung.Target*100)
+			fmt.Fprintf(&b, "rung %-9s target %.0f%% binding utilization", cell.Rung.Label, cell.Rung.Target*100)
+			if cell.Agents > 1 {
+				fmt.Fprintf(&b, " — %d concurrent agents", cell.Agents)
+			}
+			b.WriteString("\n")
 			fmt.Fprintf(&b, "  %-8s %9s %7s %6s %17s %5s %14s %21s %9s\n",
 				"alg", "arrivals", "accept%", "drops", "util C/R/S %", "wins", "acc%/win", "p50/p95/p99 decision", "place/s")
 		}

@@ -130,7 +130,7 @@ func TestRunChurnValidation(t *testing.T) {
 
 func TestRunChurnCell(t *testing.T) {
 	res, err := DefaultSetup().RunChurnCell("RISA", ChurnRung{Label: "50%", Target: 0.5},
-		sim.StreamConfig{MaxArrivals: 2000, Window: 3000})
+		sim.StreamConfig{Workload: sim.StreamWorkload{MaxArrivals: 2000}, Windows: sim.StreamWindows{Window: 3000}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestRunChurnCell(t *testing.T) {
 		t.Error("placements/sec should be positive")
 	}
 	if _, err := DefaultSetup().RunChurnCell("nope", ChurnRung{Label: "x", Target: 0.5},
-		sim.StreamConfig{MaxArrivals: 10, Window: 10}); err == nil {
+		sim.StreamConfig{Workload: sim.StreamWorkload{MaxArrivals: 10}, Windows: sim.StreamWindows{Window: 10}}); err == nil {
 		t.Error("unknown algorithm must fail")
 	}
 }

@@ -80,12 +80,7 @@ func TestChurnCloneMatchesFreshForWarmAlgorithm(t *testing.T) {
 		t.Fatal(err)
 	}
 	warmup, window := ChurnPhases(cfg.Duration)
-	fresh, err := DefaultSetup().RunChurnCell("RISA", cfg.Rungs[0], sim.StreamConfig{
-		MaxArrivals: cfg.Arrivals,
-		Duration:    cfg.Duration,
-		Warmup:      warmup,
-		Window:      window,
-	})
+	fresh, err := DefaultSetup().RunChurnCell("RISA", cfg.Rungs[0], sim.StreamConfig{Workload: sim.StreamWorkload{MaxArrivals: cfg.Arrivals, Duration: cfg.Duration}, Windows: sim.StreamWindows{Warmup: warmup, Window: window}})
 	if err != nil {
 		t.Fatal(err)
 	}

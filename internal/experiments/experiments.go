@@ -9,10 +9,6 @@
 package experiments
 
 import (
-	"fmt"
-
-	"risa/internal/baseline"
-	"risa/internal/core"
 	"risa/internal/network"
 	"risa/internal/optics"
 	"risa/internal/power"
@@ -25,20 +21,12 @@ import (
 // Algorithms lists the four schedulers in the paper's presentation order.
 var Algorithms = []string{"NULB", "NALB", "RISA", "RISA-BF"}
 
-// NewScheduler builds the named scheduler bound to st.
+// NewScheduler builds the named scheduler bound to st through the
+// sched.New registry. The algorithms self-register from their packages'
+// init functions (this package's use of core and baseline links all
+// four in), so there is no switch-on-name construction here anymore.
 func NewScheduler(name string, st *sched.State) (sched.Scheduler, error) {
-	switch name {
-	case "NULB":
-		return baseline.NewNULB(st), nil
-	case "NALB":
-		return baseline.NewNALB(st), nil
-	case "RISA":
-		return core.New(st), nil
-	case "RISA-BF":
-		return core.NewBF(st), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown algorithm %q", name)
-	}
+	return sched.New(name, st, sched.Options{})
 }
 
 // Setup fixes the environment of one experiment: the cluster architecture,

@@ -146,10 +146,8 @@ func (s Setup) RunFaults(cfg FaultsConfig) (*Faults, error) {
 		}
 	}
 	streamCfg := sim.StreamConfig{
-		MaxArrivals: cfg.Arrivals,
-		Duration:    cfg.Duration,
-		Warmup:      warmup,
-		Window:      window,
+		Workload: sim.StreamWorkload{MaxArrivals: cfg.Arrivals, Duration: cfg.Duration},
+		Windows:  sim.StreamWindows{Warmup: warmup, Window: window},
 	}
 	cellsPerRung := len(cfg.Targets) * len(Algorithms)
 
@@ -161,9 +159,9 @@ func (s Setup) RunFaults(cfg FaultsConfig) (*Faults, error) {
 		snaps = make([]*sim.Snapshot, len(cfg.Targets))
 		warmErrs := make([]error, len(cfg.Targets))
 		warmCfg := streamCfg
-		warmCfg.SnapshotAt = warmup
+		warmCfg.Snapshot.At = warmup
 		Engine{}.ForEach(len(cfg.Targets), func(i int) {
-			runner, stream, err := s.newFaultCell("RISA", cfg.Targets[i], nil, false)
+			runner, stream, err := s.newFaultCell("RISA", cfg.Targets[i])
 			if err != nil {
 				warmErrs[i] = err
 				return
@@ -180,17 +178,20 @@ func (s Setup) RunFaults(cfg FaultsConfig) (*Faults, error) {
 	errs := make([]error, len(out.Cells))
 	Engine{}.ForEach(len(out.Cells), func(i int) {
 		cell := &out.Cells[i]
-		plan := plans[i/cellsPerRung]
-		runner, stream, err := s.newFaultCell(cell.Algorithm, cell.Target, plan, cfg.Evict)
+		runner, stream, err := s.newFaultCell(cell.Algorithm, cell.Target)
 		if err != nil {
 			errs[i] = err
 			return
 		}
+		cellCfg := streamCfg
+		if plan := plans[i/cellsPerRung]; plan != nil {
+			cellCfg.Faults = sim.StreamFaults{Plan: plan, Evict: cfg.Evict}
+		}
 		if cfg.Clone {
 			snap := snaps[(i%cellsPerRung)/len(Algorithms)]
-			cell.Result, errs[i] = runner.ResumeStream(stream, snap, streamCfg)
+			cell.Result, errs[i] = runner.ResumeStream(stream, snap, cellCfg)
 		} else {
-			cell.Result, errs[i] = runner.RunStream(stream, streamCfg)
+			cell.Result, errs[i] = runner.RunStream(stream, cellCfg)
 		}
 	})
 	for i, err := range errs {
@@ -221,7 +222,7 @@ func (s Setup) faultPlan(rung FaultRung, horizon int64) (*faults.Plan, error) {
 // fresh datacenter consuming the target's controlled stream while the
 // rung's generated box-outage plan plays out.
 func (s Setup) RunFaultCell(algorithm string, target float64, rung FaultRung, evict bool, cfg sim.StreamConfig) (*sim.SteadyState, error) {
-	plan, err := s.faultPlan(rung, cfg.Duration)
+	plan, err := s.faultPlan(rung, cfg.Workload.Duration)
 	if err != nil {
 		return nil, err
 	}
@@ -229,18 +230,23 @@ func (s Setup) RunFaultCell(algorithm string, target float64, rung FaultRung, ev
 }
 
 // runFaultCell is RunFaultCell on an already-generated (shared,
-// read-only) plan; a nil plan runs the fault-free baseline.
+// read-only) plan; a nil plan runs the fault-free baseline. The plan
+// rides in through StreamConfig.Faults, the stream-level fault surface.
 func (s Setup) runFaultCell(algorithm string, target float64, plan *faults.Plan, evict bool, cfg sim.StreamConfig) (*sim.SteadyState, error) {
-	runner, stream, err := s.newFaultCell(algorithm, target, plan, evict)
+	runner, stream, err := s.newFaultCell(algorithm, target)
 	if err != nil {
 		return nil, err
+	}
+	if plan != nil {
+		cfg.Faults = sim.StreamFaults{Plan: plan, Evict: evict}
 	}
 	return runner.RunStream(stream, cfg)
 }
 
-// newFaultCell builds the pristine state, scheduler, runner (carrying
-// the shared read-only plan) and stream one availability cell runs on.
-func (s Setup) newFaultCell(algorithm string, target float64, plan *faults.Plan, evict bool) (*sim.Runner, *workload.SyntheticStream, error) {
+// newFaultCell builds the pristine state, scheduler, runner and stream
+// one availability cell runs on. The fault plan is not bound here — it
+// enters per run through StreamConfig.Faults.
+func (s Setup) newFaultCell(algorithm string, target float64) (*sim.Runner, *workload.SyntheticStream, error) {
 	st, err := s.NewState()
 	if err != nil {
 		return nil, nil, err
@@ -253,16 +259,11 @@ func (s Setup) newFaultCell(algorithm string, target float64, plan *faults.Plan,
 	if err != nil {
 		return nil, nil, err
 	}
-	simCfg := sim.Config{}
-	if plan != nil {
-		simCfg.Faults = plan
-		simCfg.Evict = evict
-	}
 	sch, err := NewScheduler(algorithm, st)
 	if err != nil {
 		return nil, nil, err
 	}
-	runner, err := sim.NewRunner(st, sch, simCfg)
+	runner, err := sim.NewRunner(st, sch, sim.Config{})
 	if err != nil {
 		return nil, nil, err
 	}

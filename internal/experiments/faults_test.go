@@ -114,7 +114,7 @@ func TestFaultsConfigValidation(t *testing.T) {
 // differ — with eviction the displaced counter moves; without it the
 // same cell keeps every VM in place.
 func TestFaultCellKeepRunningVsEvict(t *testing.T) {
-	cfg := sim.StreamConfig{MaxArrivals: 4000, Duration: 20000, Warmup: 5000, Window: 3000}
+	cfg := sim.StreamConfig{Workload: sim.StreamWorkload{MaxArrivals: 4000, Duration: 20000}, Windows: sim.StreamWindows{Warmup: 5000, Window: 3000}}
 	rung := FaultRung{Label: "smoke", MTBF: 4000, MTTR: 500}
 	keep, err := DefaultSetup().RunFaultCell("RISA", 0.6, rung, false, cfg)
 	if err != nil {

@@ -211,6 +211,7 @@ type Fabric struct {
 	interCap, interFree units.Bandwidth   // aggregate over all rack uplinks
 	podCap, podFree     units.Bandwidth   // aggregate over all pod uplinks
 	rackIntraFree       []units.Bandwidth // per-rack free over its box uplinks
+	rackGen             []uint64          // per-rack network generation (see RackGen)
 
 	// freeFlows recycles released Flow records (and their link slices)
 	// into later AllocateFlow calls, so steady-state flow churn does not
@@ -244,6 +245,7 @@ func NewFabric(cl *topology.Cluster, cfg Config) (*Fabric, error) {
 	f.boxUplinks = make([][][]*Link, len(racks))
 	f.rackUplinks = make([][]*Link, len(racks))
 	f.rackIntraFree = make([]units.Bandwidth, len(racks))
+	f.rackGen = make([]uint64, len(racks))
 	for ri, rack := range racks {
 		boxes := rack.Boxes()
 		f.boxUplinks[ri] = make([][]*Link, len(boxes))
@@ -545,6 +547,7 @@ func (f *Fabric) take(l *Link, bw units.Bandwidth) {
 	case BoxUplink:
 		f.intraFree -= bw
 		f.rackIntraFree[l.rack] -= bw
+		f.rackGen[l.rack]++
 	case RackUplink:
 		f.interFree -= bw
 	case PodUplink:
@@ -565,6 +568,7 @@ func (f *Fabric) put(l *Link, bw units.Bandwidth) {
 	case BoxUplink:
 		f.intraFree += bw
 		f.rackIntraFree[l.rack] += bw
+		f.rackGen[l.rack]++
 	case RackUplink:
 		f.interFree += bw
 	case PodUplink:
@@ -589,6 +593,7 @@ func (f *Fabric) SetLinkFailed(l *Link, failed bool) {
 	case BoxUplink:
 		f.intraFree += delta
 		f.rackIntraFree[l.rack] += delta
+		f.rackGen[l.rack]++
 	case RackUplink:
 		f.interFree += delta
 	case PodUplink:

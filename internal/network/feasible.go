@@ -1,0 +1,44 @@
+package network
+
+import (
+	"risa/internal/topology"
+	"risa/internal/units"
+)
+
+// RackGen returns the rack's network generation: a counter bumped by
+// every mutation of the rack's box-uplink state — a flow reserving or
+// releasing bandwidth on one of its box uplinks, or such a link failing
+// or being restored. Optimistic schedulers record it when proposing a
+// single-rack placement and compare it at commit time — an unchanged
+// generation proves the rack's intra-rack network state is exactly as
+// the proposal saw it (DESIGN.md §12). Rack- and pod-uplink mutations
+// do not bump it: single-rack proposals never touch the spine.
+func (f *Fabric) RackGen(rack int) uint64 { return f.rackGen[rack] }
+
+// FlowFeasible reports whether AllocateFlow(src, dst, bw, policy) would
+// currently find a link at every hop. It reserves nothing: each hop is
+// checked independently, so two flows sharing an uplink group may each
+// look feasible while only one can be admitted — CommitProposal settles
+// that by performing the real allocation. It is a pure read, safe for
+// concurrent proposers between fabric mutations.
+func (f *Fabric) FlowFeasible(src, dst *topology.Box, bw units.Bandwidth, policy Policy) bool {
+	if bw <= 0 {
+		return bw == 0
+	}
+	if pick(f.boxUplinks[src.Rack()][src.Index()], bw, policy) == nil {
+		return false
+	}
+	if src.Rack() != dst.Rack() {
+		if pick(f.rackUplinks[src.Rack()], bw, policy) == nil ||
+			pick(f.rackUplinks[dst.Rack()], bw, policy) == nil {
+			return false
+		}
+		if f.cfg.ThreeTier() && f.Pod(src.Rack()) != f.Pod(dst.Rack()) {
+			if pick(f.podUplinks[f.Pod(src.Rack())], bw, policy) == nil ||
+				pick(f.podUplinks[f.Pod(dst.Rack())], bw, policy) == nil {
+				return false
+			}
+		}
+	}
+	return pick(f.boxUplinks[dst.Rack()][dst.Index()], bw, policy) != nil
+}

@@ -1,0 +1,323 @@
+// Concurrent allocation agents (DESIGN.md §12): N agents, each holding
+// its own Proposer instance of the run's scheduler, propose placements
+// in parallel against a settled read-only view of the cluster; a
+// coordinator commits the proposals serially in arrival order,
+// validating each against the per-rack generation counters. Losers are
+// redone serially — through the full algorithm after a commit conflict,
+// or entering at the fallback tier directly when a cluster-wide Propose
+// already certified the intra-rack tier empty (ConclusiveProposer) —
+// and only a failed redo touches the retry queue, under the VM's
+// original arrival sequence, so queue order never depends on scheduling
+// interleavings.
+//
+// The loop here is round-based: consecutive arrivals are staged into a
+// batch (bounded by StreamConcurrency.Round); any non-arrival event —
+// departure, fault, injection — flushes the batch first, because its
+// arrivals precede that event in simulated time. Determinism follows
+// from three fixed orders: VMs map to agents by arrival sequence, each
+// agent's proposals depend only on its own deterministic subsequence,
+// and commits replay in arrival order.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"risa/internal/sched"
+	"risa/internal/workload"
+)
+
+// batchItem is one arrival staged into a propose round, plus the slot
+// its agent writes the proposal into — distinct slots per item, so the
+// round needs no locks.
+type batchItem struct {
+	vm       workload.VM
+	t        int64
+	seq      int // admission sequence: picks the agent and the queue slot
+	measured bool
+	prop     sched.Proposal
+	ok       bool
+}
+
+// agentPool is a fixed set of worker goroutines, one per agent, kept
+// alive for the whole run so propose rounds allocate nothing. Each agent
+// owns a Proposer instance (private cursor state) and a contiguous shard
+// of the rack space it proposes into; shards are disjoint, so two agents
+// in one round never claim the same rack.
+type agentPool struct {
+	n      int
+	round  int
+	props  []sched.Proposer
+	shards []sched.RackMask
+	batch  []batchItem // the round being proposed, set by propose()
+	work   []chan int  // per-agent: batch length to process
+	done   chan struct{}
+	// busy[i] is agent i's measured propose time for the CURRENT round,
+	// written by the worker before it reports the barrier (the done
+	// channel orders the write before the coordinator's read). The
+	// slowest agent's time is the round's critical path.
+	busy []time.Duration
+	// conclusive, when non-nil, is the runner's scheduler as a
+	// ConclusiveProposer: a failed proposal certifies that no placement
+	// existed, and the VM drops (or re-queues) with no serial redo.
+	conclusive sched.ConclusiveProposer
+}
+
+// newAgentPool builds the pool for the runner's scheduler: per-agent
+// instances constructed through the sched.New registry, contiguous rack
+// shards, and the worker goroutines parked on their channels. It errors
+// when the scheduler is not registered or does not implement Propose.
+func (r *Runner) newAgentPool(cc StreamConcurrency) (*agentPool, error) {
+	n := cc.Agents
+	round := cc.Round
+	if round == 0 {
+		round = 4 * n
+	}
+	numRacks := r.st.Cluster.NumRacks()
+	per := (numRacks + n - 1) / n
+	p := &agentPool{n: n, round: round, done: make(chan struct{}, n), busy: make([]time.Duration, n)}
+	p.conclusive, _ = r.sch.(sched.ConclusiveProposer)
+	for i := 0; i < n; i++ {
+		s, err := sched.New(r.sch.Name(), r.st, sched.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("sim: agent pool: %w", err)
+		}
+		prop, ok := s.(sched.Proposer)
+		if !ok {
+			return nil, fmt.Errorf("sim: scheduler %q does not support concurrent agents (no Propose)", r.sch.Name())
+		}
+		mask := make(sched.RackMask, numRacks)
+		lo, hi := i*per, (i+1)*per
+		if hi > numRacks {
+			hi = numRacks
+		}
+		for ri := lo; ri < hi; ri++ {
+			mask[ri] = true
+		}
+		p.props = append(p.props, prop)
+		p.shards = append(p.shards, mask)
+		p.work = append(p.work, make(chan int, 1))
+	}
+	for i := 0; i < n; i++ {
+		go p.worker(i)
+	}
+	return p, nil
+}
+
+// worker is one agent's goroutine: per round it proposes every batch
+// item assigned to this agent (arrival sequence mod pool size) into the
+// item's own slot, then reports the barrier.
+func (p *agentPool) worker(i int) {
+	for count := range p.work[i] {
+		b0 := time.Now()
+		for j := 0; j < count; j++ {
+			it := &p.batch[j]
+			if it.seq%p.n != i {
+				continue
+			}
+			it.prop, it.ok = p.props[i].Propose(it.vm, p.shards[i])
+		}
+		p.busy[i] = time.Since(b0)
+		p.done <- struct{}{}
+	}
+}
+
+// propose runs one round: every agent proposes its items concurrently,
+// and the call returns when all agents hit the barrier. The caller must
+// have settled the cluster's lazy indexes first and must not mutate
+// shared state until propose returns. The returned duration is the
+// round's critical path — the slowest agent's measured propose time,
+// what the phase costs on hardware with a core per agent. (Workers do
+// not yield inside a round, so each measurement is the agent's own work
+// even when fewer cores timeslice the pool; the host's elapsed time,
+// whatever the core count, stays in WallTime.)
+func (p *agentPool) propose(batch []batchItem) time.Duration {
+	p.batch = batch
+	for i := range p.work {
+		p.work[i] <- len(batch)
+	}
+	for range p.work {
+		<-p.done
+	}
+	var crit time.Duration
+	for _, d := range p.busy {
+		if d > crit {
+			crit = d
+		}
+	}
+	return crit
+}
+
+// stop retires the worker goroutines.
+func (p *agentPool) stop() {
+	for i := range p.work {
+		close(p.work[i])
+	}
+}
+
+// loopAgents is the agent-mode event loop: the serial loop's event walk
+// with arrivals staged into propose rounds. A round flushes when it
+// reaches the round bound, when a non-arrival event is next (its
+// arrivals precede that event), when an arrival must tail-join a
+// non-empty retry queue, or at the end of the stream. Commits happen at
+// the last staged arrival's time — windows count arrivals at arrival
+// time and acceptances at commit time, exactly the retry queue's
+// existing accounting convention.
+func (sr *streamRun) loopAgents(pool *agentPool) error {
+	r, res, wind := sr.r, sr.res, sr.wind
+	batch := make([]batchItem, 0, pool.round)
+
+	flush := func() error {
+		tB := batch[len(batch)-1].t
+		// Settle the lazy index tiers so every read the agents perform
+		// is a pure read (topology.Cluster.Settle). SchedulingTime in
+		// agent mode accounts the scheduling CRITICAL PATH: the settle,
+		// the slowest agent's propose time for each round, and the
+		// serial commit/redo section — the cost the round imposes on
+		// hardware with a core per agent, and the figure scheduler
+		// throughput comparisons should use. WallTime stays the host's
+		// observed truth (see DESIGN.md §12).
+		s0 := time.Now()
+		r.st.Cluster.Settle()
+		crit := time.Since(s0) + pool.propose(batch)
+		res.SchedulingTime += crit
+		for i := range batch {
+			it := &batch[i]
+			var a *sched.Assignment
+			var err error
+			committed := false
+			s2 := time.Now()
+			if it.ok {
+				a, err = r.st.CommitProposal(it.prop)
+				if err == nil {
+					committed = true
+					res.AgentCommits++
+				} else {
+					// Generation moved, or joint flow allocation failed
+					// at unchanged generations: either way the claim is
+					// stale and the VM falls through to the serial redo.
+					res.AgentConflicts++
+				}
+			}
+			if !committed {
+				if !it.ok && pool.conclusive != nil {
+					// The failed proposal covered both placement tiers
+					// at the round's settle point, and capacity has only
+					// shrunk since — nothing can have opened up, so the
+					// VM needs no serial redo at all.
+					err = pool.conclusive.DropConclusive(it.vm)
+				} else {
+					a, err = r.sch.Schedule(it.vm)
+				}
+			}
+			res.SchedulingTime += time.Since(s2)
+			if err != nil {
+				if r.retry {
+					// The bug this ordering fixes: the loser re-queues
+					// under its ORIGINAL arrival sequence. A displaced
+					// VM evicted meanwhile may hold a later sequence and
+					// must stay behind this one.
+					sr.admit(queuedVM{vm: it.vm, seq: it.seq})
+					res.Enqueued++
+				} else {
+					res.TotalDropped++
+					if it.measured {
+						res.Dropped++
+						wind.cur.Dropped++
+					}
+				}
+			} else {
+				res.TotalAccepted++
+				sr.resident++
+				if it.measured {
+					res.Accepted++
+					wind.cur.Accepted++
+				}
+				dep := it.t + it.vm.Lifetime
+				if dep < tB {
+					dep = tB // committed at tB: cannot depart earlier
+				}
+				sr.h.Push(event{t: dep, kind: departure, seq: sr.seq, vm: it.vm, a: a})
+				sr.seq++
+			}
+			if sr.obs != nil {
+				_, binding := sr.utilNow()
+				sr.obs.ObserveUtilization(binding)
+			}
+		}
+		perRes, _ := sr.utilNow()
+		wind.set(perRes)
+		batch = batch[:0]
+		return nil
+	}
+
+	for sr.more || sr.h.Len() > 0 {
+		if sr.more && !heapFirst(&sr.h, sr.pending, sr.more) {
+			// Next event is an arrival. An arrival that must tail-join a
+			// non-empty retry queue is handled serially, after the staged
+			// round (whose arrivals precede it) commits.
+			if r.retry && sr.wHead < len(sr.waiting) && len(batch) > 0 {
+				if err := flush(); err != nil {
+					return err
+				}
+				continue // re-evaluate: the flush pushed departures
+			}
+			e := sr.nextArrival()
+			if e.t < sr.lastT {
+				return fmt.Errorf("sim: stream %q time went backwards: %d < %d", sr.s.Name(), e.t, sr.lastT)
+			}
+			wind.advance(e.t)
+			sr.lastT = e.t
+			measured := e.t >= wind.warmup
+			if err := e.vm.Validate(); err != nil {
+				return err
+			}
+			if measured {
+				res.Arrivals++
+				wind.cur.Arrivals++
+			}
+			sr.admitSeq++
+			if r.retry && sr.wHead < len(sr.waiting) {
+				// Queue non-empty and batch empty: the serial loop's
+				// tail-join, unchanged.
+				sr.admit(queuedVM{vm: e.vm, seq: sr.admitSeq})
+				res.Enqueued++
+				sr.drainQueue(e.t, measured)
+				perRes, binding := sr.utilNow()
+				wind.set(perRes)
+				if sr.obs != nil {
+					sr.obs.ObserveUtilization(binding)
+				}
+			} else {
+				batch = append(batch, batchItem{vm: e.vm, t: e.t, seq: sr.admitSeq, measured: measured})
+			}
+			if !sr.more || len(batch) >= pool.round {
+				if len(batch) > 0 {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+				if !sr.more {
+					break // the arrival just committed was the last
+				}
+			}
+			continue
+		}
+		if len(batch) > 0 {
+			// A non-arrival event outranks the pending arrival, so the
+			// staged arrivals (all earlier) commit first.
+			if err := flush(); err != nil {
+				return err
+			}
+			continue // re-evaluate: the flush pushed departures
+		}
+		e := sr.h.Pop()
+		if e.t < sr.lastT {
+			return fmt.Errorf("sim: stream %q time went backwards: %d < %d", sr.s.Name(), e.t, sr.lastT)
+		}
+		wind.advance(e.t)
+		sr.lastT = e.t
+		sr.handleEvent(e, e.t >= wind.warmup)
+	}
+	return nil
+}

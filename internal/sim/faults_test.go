@@ -112,9 +112,7 @@ func streamFor(t testing.TB) workload.Stream {
 func TestRunStreamFaultsNoEvict(t *testing.T) {
 	plan := faults.RackFailure(0, 400, 900)
 	st, r := faultRunner(t, Config{Faults: plan})
-	res, err := r.RunStream(streamFor(t), StreamConfig{
-		MaxArrivals: 2000, Warmup: 200, Window: 200, Drain: true,
-	})
+	res, err := r.RunStream(streamFor(t), StreamConfig{Workload: StreamWorkload{MaxArrivals: 2000, Drain: true}, Windows: StreamWindows{Warmup: 200, Window: 200}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,9 +139,7 @@ func TestRunStreamFaultsNoEvict(t *testing.T) {
 func TestRunStreamEviction(t *testing.T) {
 	plan := faults.RackFailure(0, 400, 900)
 	st, r := faultRunner(t, Config{Faults: plan, Evict: true})
-	res, err := r.RunStream(streamFor(t), StreamConfig{
-		MaxArrivals: 2000, Warmup: 200, Window: 200, Drain: true,
-	})
+	res, err := r.RunStream(streamFor(t), StreamConfig{Workload: StreamWorkload{MaxArrivals: 2000, Drain: true}, Windows: StreamWindows{Warmup: 200, Window: 200}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,9 +188,7 @@ func TestRunStreamEvictionLoss(t *testing.T) {
 			faults.Event{T: 600, Tier: faults.RackTier, Rack: rack, Repair: true})
 	}
 	st, r := faultRunner(t, Config{Faults: plan, Evict: true})
-	res, err := r.RunStream(streamFor(t), StreamConfig{
-		MaxArrivals: 2000, Warmup: 200, Window: 200, Drain: true,
-	})
+	res, err := r.RunStream(streamFor(t), StreamConfig{Workload: StreamWorkload{MaxArrivals: 2000, Drain: true}, Windows: StreamWindows{Warmup: 200, Window: 200}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,9 +224,7 @@ func TestRunStreamEvictionRetryQueue(t *testing.T) {
 			faults.Event{T: 600, Tier: faults.RackTier, Rack: rack, Repair: true})
 	}
 	st, r := faultRunner(t, Config{Faults: plan, Evict: true, RetryDropped: true})
-	res, err := r.RunStream(streamFor(t), StreamConfig{
-		MaxArrivals: 2000, Warmup: 200, Window: 200, Drain: true,
-	})
+	res, err := r.RunStream(streamFor(t), StreamConfig{Workload: StreamWorkload{MaxArrivals: 2000, Drain: true}, Windows: StreamWindows{Warmup: 200, Window: 200}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,9 +255,7 @@ func TestRunStreamFaultDeterminism(t *testing.T) {
 	}
 	run := func() *SteadyState {
 		_, r := faultRunner(t, Config{Faults: plan, Evict: true})
-		res, err := r.RunStream(streamFor(t), StreamConfig{
-			MaxArrivals: 2000, Warmup: 200, Window: 200, Drain: true,
-		})
+		res, err := r.RunStream(streamFor(t), StreamConfig{Workload: StreamWorkload{MaxArrivals: 2000, Drain: true}, Windows: StreamWindows{Warmup: 200, Window: 200}})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -86,6 +86,12 @@ type eventQueue = heap4[event]
 type queuedVM struct {
 	vm        workload.VM
 	displaced bool
+	// seq is the admission sequence (stream runs only): a monotone
+	// counter stamped once per arrival processed and once per eviction,
+	// so a conflict loser from the agent pool re-queues under its
+	// ORIGINAL arrival order, not its commit-attempt order (see
+	// streamRun.admit). Run's whole-trace queue leaves it zero.
+	seq int
 }
 
 // Result aggregates everything one run produces. All percentages are in

@@ -105,10 +105,14 @@ type EventState struct {
 	A    int
 }
 
-// QueuedVMState is one serialized retry-queue entry.
+// QueuedVMState is one serialized retry-queue entry. Seq is the entry's
+// admission sequence (zero in snapshots written before sequences
+// existed — old snapshots decode and resume unchanged, because equal
+// sequences keep append order).
 type QueuedVMState struct {
 	VM        workload.VM
 	Displaced bool
+	Seq       int
 }
 
 // ReservoirState is the serializable position of one latency reservoir:
@@ -140,7 +144,7 @@ type WindowerState struct {
 // boundary. It is plain data: gob-serializable (Encode/DecodeSnapshot),
 // deep-copyable (Clone), and immutable under ResumeStream.
 type Snapshot struct {
-	// T is the snapshot boundary (the arming StreamConfig.SnapshotAt):
+	// T is the snapshot boundary (the arming StreamSnapshot.At):
 	// every event with time < T is reflected in the state, nothing at or
 	// after T is. LastT is the time of the last event actually processed
 	// (≤ T).
@@ -158,6 +162,9 @@ type Snapshot struct {
 
 	Waiting []QueuedVMState
 	WaitSum float64
+	// AdmitSeq is the retry queue's admission counter (zero in snapshots
+	// from before admission sequences existed).
+	AdmitSeq int
 
 	// PlanLen is the length of the fault plan the run was driven by, or
 	// -1 when it had none. Resuming a snapshot with PlanLen ≥ 0 requires
@@ -397,7 +404,7 @@ func restoreFlow(f *network.Fabric, fs FlowState) (*network.Flow, error) {
 func (sr *streamRun) capture() (*Snapshot, error) {
 	if sr.burstFail || sr.burstRepair {
 		// Unreachable: a same-instant burst never spans the boundary
-		// (its events share one time < SnapshotAt). Guard loudly anyway.
+		// (its events share one time < Snapshot.At). Guard loudly anyway.
 		return nil, fmt.Errorf("sim: internal: snapshot inside a same-instant fault burst")
 	}
 	snapper, ok := sr.s.(workload.StreamSnapshotter)
@@ -410,6 +417,7 @@ func (sr *streamRun) capture() (*Snapshot, error) {
 		Seq:      sr.seq,
 		Resident: sr.resident,
 		WaitSum:  sr.waitSum,
+		AdmitSeq: sr.admitSeq,
 		PlanLen:  -1,
 	}
 	live := make([]*sched.Assignment, 0, sr.h.Len())
@@ -433,7 +441,7 @@ func (sr *streamRun) capture() (*Snapshot, error) {
 	snap.State = *state
 	for i := sr.wHead; i < len(sr.waiting); i++ {
 		q := sr.waiting[i]
-		snap.Waiting = append(snap.Waiting, QueuedVMState{VM: q.vm, Displaced: q.displaced})
+		snap.Waiting = append(snap.Waiting, QueuedVMState{VM: q.vm, Displaced: q.displaced, Seq: q.seq})
 	}
 	if sr.r.plan != nil {
 		snap.PlanLen = len(sr.r.plan.Events)
@@ -450,7 +458,7 @@ func (sr *streamRun) capture() (*Snapshot, error) {
 	return snap, nil
 }
 
-// WarmStream runs the stream up to cfg.SnapshotAt (required) and returns
+// WarmStream runs the stream up to cfg.Snapshot.At (required) and returns
 // the snapshot captured there, leaving the runner's state warm. The
 // warm configuration's stop bounds (MaxArrivals, Duration, Warmup,
 // Window) must equal the resume configuration's for a resumed run to be
@@ -458,8 +466,8 @@ func (sr *streamRun) capture() (*Snapshot, error) {
 // the same StreamConfig to both. It fails if the run ends before the
 // snapshot point.
 func (r *Runner) WarmStream(s workload.Stream, cfg StreamConfig) (*Snapshot, error) {
-	if cfg.SnapshotAt <= 0 {
-		return nil, fmt.Errorf("sim: WarmStream requires SnapshotAt")
+	if cfg.Snapshot.At <= 0 {
+		return nil, fmt.Errorf("sim: WarmStream requires Snapshot.At")
 	}
 	sr, err := r.newStreamRun(s, cfg)
 	if err != nil {
@@ -471,7 +479,7 @@ func (r *Runner) WarmStream(s workload.Stream, cfg StreamConfig) (*Snapshot, err
 	}
 	if sr.snap == nil {
 		return nil, fmt.Errorf("sim: stream %q ended at t=%d, before the snapshot point %d",
-			s.Name(), sr.lastT, cfg.SnapshotAt)
+			s.Name(), sr.lastT, cfg.Snapshot.At)
 	}
 	return sr.snap, nil
 }
@@ -482,7 +490,7 @@ func (r *Runner) WarmStream(s workload.Stream, cfg StreamConfig) (*Snapshot, err
 // (it is repositioned by replay), and cfg must carry the same stop
 // bounds as the warm run's for bit-identical equivalence (Warmup,
 // Window and the reservoir parameters are inherited from the snapshot;
-// cfg.Drain, SnapshotAt and OnSnapshot apply to the resumed part).
+// cfg.Workload.Drain, Snapshot.At and OnSnapshot apply to the resumed part).
 //
 // Fault-plan linkage follows Snapshot.PlanLen: a snapshot taken under a
 // plan requires this runner to carry an equally long plan (the pending
@@ -496,7 +504,13 @@ func (r *Runner) WarmStream(s workload.Stream, cfg StreamConfig) (*Snapshot, err
 // same snapshot, including concurrently from separate goroutines each
 // with their own runner and stream.
 func (r *Runner) ResumeStream(s workload.Stream, snap *Snapshot, cfg StreamConfig) (*SteadyState, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Concurrency.Agents > 1 {
+		return nil, fmt.Errorf("sim: agent mode (Agents=%d) cannot resume a snapshot", cfg.Concurrency.Agents)
+	}
+	if err := r.adoptStreamFaults(cfg.Faults); err != nil {
 		return nil, err
 	}
 	if len(r.injections) > 0 {
@@ -540,8 +554,9 @@ func (r *Runner) ResumeStream(s workload.Stream, snap *Snapshot, cfg StreamConfi
 		waitSum:  snap.WaitSum,
 		pending:  snap.PendingVM,
 		more:     snap.More,
-		snapAt:   cfg.SnapshotAt,
-		onSnap:   cfg.OnSnapshot,
+		admitSeq: snap.AdmitSeq,
+		snapAt:   cfg.Snapshot.At,
+		onSnap:   cfg.Snapshot.OnSnapshot,
 	}
 	// Rebuild the heap's backing array verbatim: the snapshot recorded a
 	// valid heap in array order, so assigning it preserves both the heap
@@ -558,7 +573,7 @@ func (r *Runner) ResumeStream(s workload.Stream, snap *Snapshot, cfg StreamConfi
 		sr.h.s[i] = e
 	}
 	for _, q := range snap.Waiting {
-		sr.waiting = append(sr.waiting, queuedVM{vm: q.VM, displaced: q.Displaced})
+		sr.waiting = append(sr.waiting, queuedVM{vm: q.VM, displaced: q.Displaced, seq: q.Seq})
 	}
 	r.resetFaultCounts()
 	if snap.PlanLen >= 0 {
@@ -579,7 +594,7 @@ func (r *Runner) ResumeStream(s workload.Stream, snap *Snapshot, cfg StreamConfi
 	// processing anything, exactly as a fresh run stops at its last
 	// in-bound arrival without draining the resident departures.
 	ranOut := false
-	if sr.more && cfg.Duration > 0 && sr.pending.Arrival > cfg.Duration {
+	if sr.more && cfg.Workload.Duration > 0 && sr.pending.Arrival > cfg.Workload.Duration {
 		sr.more = false
 		sr.res.TotalArrivals--
 		ranOut = true

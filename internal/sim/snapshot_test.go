@@ -7,7 +7,6 @@ import (
 	"sync"
 	"testing"
 
-	"risa/internal/baseline"
 	"risa/internal/core"
 	"risa/internal/faults"
 	"risa/internal/network"
@@ -27,17 +26,11 @@ func eqTopology() topology.Config {
 
 func eqScheduler(t testing.TB, name string, st *sched.State) sched.Scheduler {
 	t.Helper()
-	switch name {
-	case "NULB":
-		return baseline.NewNULB(st)
-	case "NALB":
-		return baseline.NewNALB(st)
-	case "RISA":
-		return core.New(st)
-	case "RISA-BF":
-		return core.NewBF(st)
+	s, err := sched.New(name, st, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	t.Fatalf("unknown scheduler %q", name)
+	return s
 	return nil
 }
 
@@ -86,8 +79,8 @@ type eqCase struct {
 }
 
 func eqCases() []eqCase {
-	churn := StreamConfig{MaxArrivals: 2500, Warmup: 12600, Window: 6300}
-	faulty := StreamConfig{Duration: 160000, Warmup: 12600, Window: 6300}
+	churn := StreamConfig{Workload: StreamWorkload{MaxArrivals: 2500}, Windows: StreamWindows{Warmup: 12600, Window: 6300}}
+	faulty := StreamConfig{Workload: StreamWorkload{Duration: 160000}, Windows: StreamWindows{Warmup: 12600, Window: 6300}}
 	return []eqCase{
 		{
 			name:   "churn",
@@ -159,7 +152,7 @@ func TestSnapshotEquivalence(t *testing.T) {
 				}
 
 				warmCfg := tc.stream
-				warmCfg.SnapshotAt = snapAt
+				warmCfg.Snapshot.At = snapAt
 				_, wr := eqRunner(t, alg, tc.sim(t))
 				snap, err := wr.WarmStream(eqStream(t), warmCfg)
 				if err != nil {
@@ -186,7 +179,7 @@ func TestSnapshotEquivalence(t *testing.T) {
 // TestSnapshotObservationPurity: arming OnSnapshot on a full run must
 // not perturb it, and the mid-run capture must equal WarmStream's.
 func TestSnapshotObservationPurity(t *testing.T) {
-	cfg := StreamConfig{MaxArrivals: 2000, Warmup: 12600, Window: 6300}
+	cfg := StreamConfig{Workload: StreamWorkload{MaxArrivals: 2000}, Windows: StreamWindows{Warmup: 12600, Window: 6300}}
 	_, plain := eqRunner(t, "RISA", Config{})
 	want, err := plain.RunStream(eqStream(t), cfg)
 	if err != nil {
@@ -194,9 +187,9 @@ func TestSnapshotObservationPurity(t *testing.T) {
 	}
 
 	observed := cfg
-	observed.SnapshotAt = 30000
+	observed.Snapshot.At = 30000
 	var mid *Snapshot
-	observed.OnSnapshot = func(s *Snapshot) { mid = s }
+	observed.Snapshot.OnSnapshot = func(s *Snapshot) { mid = s }
 	_, obs := eqRunner(t, "RISA", Config{})
 	got, err := obs.RunStream(eqStream(t), observed)
 	if err != nil {
@@ -208,7 +201,7 @@ func TestSnapshotObservationPurity(t *testing.T) {
 	}
 
 	warm := cfg
-	warm.SnapshotAt = 30000
+	warm.Snapshot.At = 30000
 	_, wr := eqRunner(t, "RISA", Config{})
 	snap, err := wr.WarmStream(eqStream(t), warm)
 	if err != nil {
@@ -235,9 +228,9 @@ func TestSnapshotObservationPurity(t *testing.T) {
 // goroutines at once — the worker-pool pattern the experiment ladders
 // use — and every resume must agree with the serial one.
 func TestSnapshotSharedAcrossWidths(t *testing.T) {
-	cfg := StreamConfig{MaxArrivals: 2000, Warmup: 12600, Window: 6300}
+	cfg := StreamConfig{Workload: StreamWorkload{MaxArrivals: 2000}, Windows: StreamWindows{Warmup: 12600, Window: 6300}}
 	warm := cfg
-	warm.SnapshotAt = 30000
+	warm.Snapshot.At = 30000
 	_, wr := eqRunner(t, "RISA", Config{})
 	snap, err := wr.WarmStream(eqStream(t), warm)
 	if err != nil {
@@ -290,7 +283,7 @@ func TestSnapshotSharedAcrossWidths(t *testing.T) {
 
 // TestSnapshotCloneIsDeep: mutating a clone must not reach the original.
 func TestSnapshotCloneIsDeep(t *testing.T) {
-	warm := StreamConfig{MaxArrivals: 2000, Warmup: 12600, Window: 6300, SnapshotAt: 30000}
+	warm := StreamConfig{Workload: StreamWorkload{MaxArrivals: 2000}, Windows: StreamWindows{Warmup: 12600, Window: 6300}, Snapshot: StreamSnapshot{At: 30000}}
 	_, wr := eqRunner(t, "RISA", Config{Faults: eqPlan(t, 160000), Evict: true, RetryDropped: true})
 	snap, err := wr.WarmStream(eqStream(t), warm)
 	if err != nil {
@@ -318,9 +311,9 @@ func TestSnapshotCloneIsDeep(t *testing.T) {
 // TestSnapshotGobRoundtrip: the -snapshot/-restore serialization must
 // preserve resumability exactly.
 func TestSnapshotGobRoundtrip(t *testing.T) {
-	cfg := StreamConfig{MaxArrivals: 2000, Warmup: 12600, Window: 6300}
+	cfg := StreamConfig{Workload: StreamWorkload{MaxArrivals: 2000}, Windows: StreamWindows{Warmup: 12600, Window: 6300}}
 	warm := cfg
-	warm.SnapshotAt = 30000
+	warm.Snapshot.At = 30000
 	_, wr := eqRunner(t, "RISA", Config{})
 	snap, err := wr.WarmStream(eqStream(t), warm)
 	if err != nil {
@@ -352,9 +345,9 @@ func TestSnapshotGobRoundtrip(t *testing.T) {
 // scheduler and resume with another; the resumed run must be
 // deterministic (the foreign scheduler starts from its zero state).
 func TestResumeCrossAlgorithm(t *testing.T) {
-	cfg := StreamConfig{MaxArrivals: 2000, Warmup: 12600, Window: 6300}
+	cfg := StreamConfig{Workload: StreamWorkload{MaxArrivals: 2000}, Windows: StreamWindows{Warmup: 12600, Window: 6300}}
 	warm := cfg
-	warm.SnapshotAt = 30000
+	warm.Snapshot.At = 30000
 	_, wr := eqRunner(t, "RISA", Config{})
 	snap, err := wr.WarmStream(eqStream(t), warm)
 	if err != nil {
@@ -383,9 +376,9 @@ func TestResumeCrossAlgorithm(t *testing.T) {
 // a runner with a plan schedules the plan's events from the snapshot
 // point on — deterministically, and with faults actually striking.
 func TestResumePlanFreeWarmWithPlan(t *testing.T) {
-	cfg := StreamConfig{Duration: 160000, Warmup: 12600, Window: 6300}
+	cfg := StreamConfig{Workload: StreamWorkload{Duration: 160000}, Windows: StreamWindows{Warmup: 12600, Window: 6300}}
 	warm := cfg
-	warm.SnapshotAt = 30000
+	warm.Snapshot.At = 30000
 	_, wr := eqRunner(t, "RISA", Config{})
 	snap, err := wr.WarmStream(eqStream(t), warm)
 	if err != nil {
@@ -413,7 +406,7 @@ func TestResumePlanFreeWarmWithPlan(t *testing.T) {
 
 // TestSnapshotErrors covers the rejection paths.
 func TestSnapshotErrors(t *testing.T) {
-	cfg := StreamConfig{MaxArrivals: 500, Warmup: 0, Window: 1000}
+	cfg := StreamConfig{Workload: StreamWorkload{MaxArrivals: 500}, Windows: StreamWindows{Warmup: 0, Window: 1000}}
 
 	t.Run("warm-requires-snapshot-at", func(t *testing.T) {
 		_, r := eqRunner(t, "RISA", Config{})
@@ -423,7 +416,7 @@ func TestSnapshotErrors(t *testing.T) {
 	})
 	t.Run("on-snapshot-requires-snapshot-at", func(t *testing.T) {
 		bad := cfg
-		bad.OnSnapshot = func(*Snapshot) {}
+		bad.Snapshot.OnSnapshot = func(*Snapshot) {}
 		_, r := eqRunner(t, "RISA", Config{})
 		if _, err := r.RunStream(eqStream(t), bad); err == nil {
 			t.Fatal("OnSnapshot without SnapshotAt succeeded")
@@ -431,7 +424,7 @@ func TestSnapshotErrors(t *testing.T) {
 	})
 	t.Run("stream-ends-before-boundary", func(t *testing.T) {
 		warm := cfg
-		warm.SnapshotAt = 1 << 40
+		warm.Snapshot.At = 1 << 40
 		_, r := eqRunner(t, "RISA", Config{})
 		if _, err := r.WarmStream(eqStream(t), warm); err == nil {
 			t.Fatal("snapshot point past the run's end succeeded")
@@ -443,20 +436,20 @@ func TestSnapshotErrors(t *testing.T) {
 		for i := 0; i < 200; i++ {
 			tr.VMs = append(tr.VMs, workload.VM{ID: i, Arrival: int64(i * 10), Lifetime: 300, Req: units.Vec(2, 2, 2)})
 		}
-		warm := StreamConfig{MaxArrivals: 200, Window: 500, SnapshotAt: 900}
+		warm := StreamConfig{Workload: StreamWorkload{MaxArrivals: 200}, Windows: StreamWindows{Window: 500}, Snapshot: StreamSnapshot{At: 900}}
 		_, r := eqRunner(t, "RISA", Config{})
 		snap, err := r.WarmStream(workload.NewTraceStream(tr), warm)
 		if err != nil {
 			t.Fatal(err)
 		}
 		_, r2 := eqRunner(t, "RISA", Config{})
-		if _, err := r2.ResumeStream(workload.NewTraceStream(tr), snap, StreamConfig{MaxArrivals: 200, Window: 500}); err != nil {
+		if _, err := r2.ResumeStream(workload.NewTraceStream(tr), snap, StreamConfig{Workload: StreamWorkload{MaxArrivals: 200}, Windows: StreamWindows{Window: 500}}); err != nil {
 			t.Fatal(err)
 		}
 	})
 
 	warmCfg := cfg
-	warmCfg.SnapshotAt = 2000
+	warmCfg.Snapshot.At = 2000
 	_, wr := eqRunner(t, "RISA", Config{})
 	snap, err := wr.WarmStream(eqStream(t), warmCfg)
 	if err != nil {
@@ -465,7 +458,7 @@ func TestSnapshotErrors(t *testing.T) {
 	plannedCfg := Config{Faults: eqPlan(t, 160000)}
 	_, pwr := eqRunner(t, "RISA", plannedCfg)
 	warmPlanned := warmCfg
-	warmPlanned.Duration, warmPlanned.MaxArrivals = 160000, 0
+	warmPlanned.Workload.Duration, warmPlanned.Workload.MaxArrivals = 160000, 0
 	plannedSnap, err := pwr.WarmStream(eqStream(t), warmPlanned)
 	if err != nil {
 		t.Fatal(err)
@@ -485,7 +478,7 @@ func TestSnapshotErrors(t *testing.T) {
 	})
 	t.Run("capture-with-pending-injection", func(t *testing.T) {
 		inj := cfg
-		inj.SnapshotAt = 2000
+		inj.Snapshot.At = 2000
 		_, r := eqRunner(t, "RISA", Config{Injections: []Injection{{T: 1 << 30, Do: func(*sched.State) {}}}})
 		if _, err := r.WarmStream(eqStream(t), inj); err == nil {
 			t.Fatal("capture with a pending injection succeeded")

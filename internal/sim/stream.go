@@ -6,21 +6,31 @@ import (
 	"sort"
 	"time"
 
+	"risa/internal/faults"
 	"risa/internal/sched"
 	"risa/internal/units"
 	"risa/internal/workload"
 )
 
-// StreamConfig parameterizes one open-ended steady-state run
-// (Runner.RunStream). At least one of MaxArrivals and Duration must bound
-// the run.
-type StreamConfig struct {
+// StreamWorkload bounds one open-ended run: at least one of MaxArrivals
+// and Duration must stop it.
+type StreamWorkload struct {
 	// MaxArrivals stops the run after this many arrivals have been
 	// processed (0 = unbounded, then Duration must be set).
 	MaxArrivals int
 	// Duration stops the run at this simulated time: arrivals beyond it
 	// are not consumed (0 = unbounded, then MaxArrivals must be set).
 	Duration int64
+	// Drain, when set, keeps simulating departures after the arrival
+	// budget is exhausted until the cluster is empty again (excluded from
+	// all metrics — an emptying cluster is not steady state). The default
+	// stops at the last arrival and leaves the state loaded.
+	Drain bool
+}
+
+// StreamWindows shapes the steady-state measurement: the warmup cut, the
+// reporting windows and the latency reservoir.
+type StreamWindows struct {
 	// Warmup excludes the first Warmup time units from every metric:
 	// windows, utilization averages, acceptance counts and the latency
 	// reservoir all start at t = Warmup. The controller (if the stream
@@ -36,47 +46,107 @@ type StreamConfig struct {
 	// ReservoirSeed seeds the reservoir's sampling randomness, so a run
 	// is reproducible end to end (default 1).
 	ReservoirSeed int64
-	// Drain, when set, keeps simulating departures after the arrival
-	// budget is exhausted until the cluster is empty again (excluded from
-	// all metrics — an emptying cluster is not steady state). The default
-	// stops at the last arrival and leaves the state loaded.
-	Drain bool
+}
 
-	// SnapshotAt, when positive, arms warm-state capture: at the first
-	// event boundary with next-event time ≥ SnapshotAt the run's complete
-	// state is captured as a Snapshot (see snapshot.go for the
-	// determinism contract). RunStream delivers it through OnSnapshot and
-	// continues unperturbed; WarmStream stops there and returns it.
-	SnapshotAt int64
+// StreamFaults is the stream-level fault surface: a fault plan merged
+// into the event loop, displaced-VM recovery and the retry queue. It is
+// the StreamConfig home of what Config.Faults/Evict/RetryDropped carry
+// for Runner.Run — a stream run accepts the surface through either, but
+// not both at once.
+type StreamFaults struct {
+	// Plan is the fault plan merged into the event loop (see
+	// Config.Faults).
+	Plan *faults.Plan
+	// Evict, with Plan, activates displaced-VM recovery (see
+	// Config.Evict).
+	Evict bool
+	// Retry turns drop-on-failure into the FIFO wait queue (see
+	// Config.RetryDropped).
+	Retry bool
+}
+
+// StreamSnapshot arms warm-state capture (see snapshot.go).
+type StreamSnapshot struct {
+	// At, when positive, arms warm-state capture: at the first event
+	// boundary with next-event time ≥ At the run's complete state is
+	// captured as a Snapshot (see snapshot.go for the determinism
+	// contract). RunStream delivers it through OnSnapshot and continues
+	// unperturbed; WarmStream stops there and returns it.
+	At int64
 	// OnSnapshot receives the captured snapshot during RunStream. The
 	// callback observes: it must not mutate the running simulation. It
-	// requires SnapshotAt > 0.
+	// requires At > 0.
 	OnSnapshot func(*Snapshot)
 }
 
-// validate checks the configuration.
-func (c StreamConfig) validate() error {
-	if c.MaxArrivals <= 0 && c.Duration <= 0 {
+// StreamConcurrency configures the optimistic agent pool (agents.go).
+type StreamConcurrency struct {
+	// Agents is the number of concurrent allocation agents proposing
+	// placements. 0 and 1 both mean the serial event loop — the pool
+	// machinery engages at 2 and above. Agent mode is incompatible with
+	// snapshot capture and resume.
+	Agents int
+	// Round bounds how many consecutive arrivals are staged into one
+	// propose round (default 4×Agents). Larger rounds amortize the
+	// propose barrier better; smaller rounds track capacity more
+	// closely.
+	Round int
+}
+
+// StreamConfig parameterizes one open-ended steady-state run
+// (Runner.RunStream), grouped by concern.
+type StreamConfig struct {
+	// Workload bounds the arrival stream.
+	Workload StreamWorkload
+	// Windows shapes the warmup cut, reporting windows and reservoirs.
+	Windows StreamWindows
+	// Faults is the stream-level fault surface.
+	Faults StreamFaults
+	// Snapshot arms warm-state capture.
+	Snapshot StreamSnapshot
+	// Concurrency configures the optimistic agent pool.
+	Concurrency StreamConcurrency
+}
+
+// Validate checks the configuration, including the compatibility rules
+// between groups: eviction needs a fault plan, snapshot capture needs a
+// positive boundary, and agent mode excludes snapshot capture (a
+// multi-agent run has no serial event boundary to capture at).
+func (c StreamConfig) Validate() error {
+	if c.Workload.MaxArrivals <= 0 && c.Workload.Duration <= 0 {
 		return fmt.Errorf("sim: stream run needs a stop criterion (MaxArrivals or Duration)")
 	}
-	if c.MaxArrivals < 0 || c.Duration < 0 || c.Warmup < 0 {
+	if c.Workload.MaxArrivals < 0 || c.Workload.Duration < 0 || c.Windows.Warmup < 0 {
 		return fmt.Errorf("sim: negative stream bounds (arrivals %d, duration %d, warmup %d)",
-			c.MaxArrivals, c.Duration, c.Warmup)
+			c.Workload.MaxArrivals, c.Workload.Duration, c.Windows.Warmup)
 	}
-	if c.Window <= 0 {
-		return fmt.Errorf("sim: stream window must be positive, got %d", c.Window)
+	if c.Windows.Window <= 0 {
+		return fmt.Errorf("sim: stream window must be positive, got %d", c.Windows.Window)
 	}
-	if c.Duration > 0 && c.Duration <= c.Warmup {
-		return fmt.Errorf("sim: duration %d must exceed warmup %d", c.Duration, c.Warmup)
+	if c.Workload.Duration > 0 && c.Workload.Duration <= c.Windows.Warmup {
+		return fmt.Errorf("sim: duration %d must exceed warmup %d", c.Workload.Duration, c.Windows.Warmup)
 	}
-	if c.ReservoirSize < 0 {
-		return fmt.Errorf("sim: negative reservoir size %d", c.ReservoirSize)
+	if c.Windows.ReservoirSize < 0 {
+		return fmt.Errorf("sim: negative reservoir size %d", c.Windows.ReservoirSize)
 	}
-	if c.SnapshotAt < 0 {
-		return fmt.Errorf("sim: negative snapshot point %d", c.SnapshotAt)
+	if c.Faults.Evict && c.Faults.Plan == nil {
+		return fmt.Errorf("sim: Faults.Evict requires Faults.Plan")
 	}
-	if c.OnSnapshot != nil && c.SnapshotAt <= 0 {
-		return fmt.Errorf("sim: OnSnapshot requires SnapshotAt")
+	if c.Snapshot.At < 0 {
+		return fmt.Errorf("sim: negative snapshot point %d", c.Snapshot.At)
+	}
+	if c.Snapshot.OnSnapshot != nil && c.Snapshot.At <= 0 {
+		return fmt.Errorf("sim: OnSnapshot requires Snapshot.At")
+	}
+	if c.Concurrency.Agents < 0 || c.Concurrency.Round < 0 {
+		return fmt.Errorf("sim: negative concurrency parameters (agents %d, round %d)",
+			c.Concurrency.Agents, c.Concurrency.Round)
+	}
+	if c.Concurrency.Round > 0 && c.Concurrency.Agents <= 1 {
+		return fmt.Errorf("sim: Concurrency.Round requires Agents > 1")
+	}
+	if c.Concurrency.Agents > 1 && c.Snapshot.At > 0 {
+		return fmt.Errorf("sim: agent mode (Agents=%d) is incompatible with snapshot capture", c.Concurrency.Agents)
 	}
 	return nil
 }
@@ -165,7 +235,16 @@ type SteadyState struct {
 	RetrySucceeded int
 	MeanWait       float64
 
-	// SchedulingTime is the wall clock spent inside Schedule calls;
+	// Agent-pool counters, zero on serial runs (see StreamConcurrency).
+	// AgentCommits counts placements committed straight from an
+	// optimistic proposal; AgentConflicts counts proposals that lost the
+	// commit-time generation check (or failed joint flow allocation) and
+	// went through the serial redo instead.
+	AgentCommits   int
+	AgentConflicts int
+
+	// SchedulingTime is the wall clock spent inside Schedule calls (and,
+	// in agent mode, propose rounds plus commits);
 	// WallTime the whole run's wall clock (drain excluded).
 	SchedulingTime time.Duration
 	WallTime       time.Duration
@@ -209,6 +288,20 @@ func (r *Runner) RunStream(s workload.Stream, cfg StreamConfig) (*SteadyState, e
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Concurrency.Agents > 1 {
+		// Concurrent agent mode (agents.go): same stream, same stop
+		// criterion, arrivals fanned to the pool in rounds. Agents ≤ 1
+		// stays on the serial loop below, bit for bit.
+		pool, err := r.newAgentPool(cfg.Concurrency)
+		if err != nil {
+			return nil, err
+		}
+		defer pool.stop()
+		if err := sr.loopAgents(pool); err != nil {
+			return nil, err
+		}
+		return sr.finish(), nil
+	}
 	if err := sr.loop(); err != nil {
 		return nil, err
 	}
@@ -237,10 +330,13 @@ type streamRun struct {
 	lastT    int64
 
 	// Retry queue: FIFO behind a head cursor, so the backing array is
-	// reused once fully drained instead of reallocated per wave.
-	waiting []queuedVM
-	wHead   int
-	waitSum float64
+	// reused once fully drained instead of reallocated per wave. Entries
+	// are kept in admission-sequence order (see admit); admitSeq is the
+	// monotone admission counter the sequence numbers come from.
+	waiting  []queuedVM
+	wHead    int
+	waitSum  float64
+	admitSeq int
 
 	// Same-instant fault events form one atomic burst: all of them apply
 	// before any eviction or queue drain, so a correlated outage cannot
@@ -252,7 +348,7 @@ type streamRun struct {
 
 	wallStart time.Time
 
-	// Snapshot plumbing (see StreamConfig.SnapshotAt and snapshot.go).
+	// Snapshot plumbing (see StreamSnapshot.At and snapshot.go).
 	snapAt     int64
 	onSnap     func(*Snapshot)
 	stopAtSnap bool
@@ -263,14 +359,17 @@ type streamRun struct {
 // injections and fault-plan events seeded into the heap, counters at
 // zero, and the first arrival pulled.
 func (r *Runner) newStreamRun(s workload.Stream, cfg StreamConfig) (*streamRun, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	size := cfg.ReservoirSize
+	if err := r.adoptStreamFaults(cfg.Faults); err != nil {
+		return nil, err
+	}
+	size := cfg.Windows.ReservoirSize
 	if size == 0 {
 		size = 4096
 	}
-	seed := cfg.ReservoirSeed
+	seed := cfg.Windows.ReservoirSeed
 	if seed == 0 {
 		seed = 1
 	}
@@ -280,9 +379,9 @@ func (r *Runner) newStreamRun(s workload.Stream, cfg StreamConfig) (*streamRun, 
 		res:    &SteadyState{Algorithm: r.sch.Name(), Workload: s.Name(), RateMultiplier: 1},
 		lat:    newReservoir(size, seed),
 		rep:    newReservoir(size, seed+1), // re-placement latencies, own stream
-		wind:   &windower{warmup: cfg.Warmup, window: cfg.Window},
-		snapAt: cfg.SnapshotAt,
-		onSnap: cfg.OnSnapshot,
+		wind:   &windower{warmup: cfg.Windows.Warmup, window: cfg.Windows.Window},
+		snapAt: cfg.Snapshot.At,
+		onSnap: cfg.Snapshot.OnSnapshot,
 	}
 	for _, inj := range r.injections {
 		sr.h.Push(event{t: inj.T, kind: inject, seq: sr.seq, do: inj.Do})
@@ -298,13 +397,57 @@ func (r *Runner) newStreamRun(s workload.Stream, cfg StreamConfig) (*streamRun, 
 	r.resetFaultCounts()
 
 	sr.pending, sr.more = s.Next()
-	if sr.more && cfg.Duration > 0 && sr.pending.Arrival > cfg.Duration {
+	if sr.more && cfg.Workload.Duration > 0 && sr.pending.Arrival > cfg.Workload.Duration {
 		sr.more = false // the very first arrival already lies beyond the bound
 	}
 	if sr.more {
 		sr.res.TotalArrivals++
 	}
 	return sr, nil
+}
+
+// adoptStreamFaults moves a StreamConfig fault surface onto the runner,
+// where the shared event-loop machinery reads it. The surface may arrive
+// through either Config (NewRunner) or StreamConfig — carrying it in
+// both at once is ambiguous and rejected.
+func (r *Runner) adoptStreamFaults(f StreamFaults) error {
+	if f.Plan == nil && !f.Evict && !f.Retry {
+		return nil
+	}
+	if r.plan != nil || r.evict || r.retry {
+		return fmt.Errorf("sim: fault surface configured on both Config and StreamConfig.Faults")
+	}
+	if f.Plan != nil {
+		cl := r.st.Cluster
+		if err := f.Plan.Validate(cl.NumRacks(), cl.Config().BoxesPerRack()); err != nil {
+			return err
+		}
+	}
+	r.plan = f.Plan
+	r.evict = f.Evict
+	r.retry = f.Retry
+	return nil
+}
+
+// admit inserts one entry into the retry queue in admission-sequence
+// order. Serial admissions are monotone, so the common path is a plain
+// append; an agent-round conflict loser re-queues under its original
+// arrival sequence and may have been overtaken by a displaced VM evicted
+// in the same round, in which case it is slotted back where its sequence
+// says — ordering never depends on which agent lost the commit race.
+func (sr *streamRun) admit(q queuedVM) {
+	n := len(sr.waiting)
+	if n == sr.wHead || sr.waiting[n-1].seq <= q.seq {
+		sr.waiting = append(sr.waiting, q)
+		return
+	}
+	sr.waiting = append(sr.waiting, queuedVM{})
+	i := n
+	for i > sr.wHead && sr.waiting[i-1].seq > q.seq {
+		sr.waiting[i] = sr.waiting[i-1]
+		i--
+	}
+	sr.waiting[i] = q
 }
 
 // utilNow reads the compute utilization signal: per resource in percent,
@@ -375,10 +518,9 @@ func (sr *streamRun) nextEventTime() int64 {
 // likewise never applied.
 func (sr *streamRun) loop() error {
 	r, res, wind := sr.r, sr.res, sr.wind
-	cfg := sr.cfg
 	for sr.more || sr.h.Len() > 0 {
 		if sr.snapAt > 0 && sr.snap == nil && sr.nextEventTime() >= sr.snapAt {
-			// The snapshot boundary: every event before SnapshotAt has been
+			// The snapshot boundary: every event before Snapshot.At has been
 			// fully processed and nothing at or after it has started.
 			snap, err := sr.capture()
 			if err != nil {
@@ -396,97 +538,19 @@ func (sr *streamRun) loop() error {
 		if heapFirst(&sr.h, sr.pending, sr.more) {
 			e = sr.h.Pop()
 		} else {
-			e = event{t: sr.pending.Arrival, kind: arrival, vm: sr.pending}
-			// Stop criterion: pull the successor only while the arrival
-			// budget and the simulated-time bound both allow it.
-			if cfg.MaxArrivals > 0 && res.TotalArrivals >= cfg.MaxArrivals {
-				sr.more = false
-			} else {
-				sr.pending, sr.more = sr.s.Next()
-				if sr.more && cfg.Duration > 0 && sr.pending.Arrival > cfg.Duration {
-					sr.more = false
-				}
-				if sr.more {
-					res.TotalArrivals++
-				}
-			}
+			e = sr.nextArrival()
 		}
 		if e.t < sr.lastT {
 			return fmt.Errorf("sim: stream %q time went backwards: %d < %d", sr.s.Name(), e.t, sr.lastT)
 		}
 		wind.advance(e.t)
 		sr.lastT = e.t
-		// wind.warmup, not cfg.Warmup: a resumed run inherits the warm
+		// wind.warmup, not Windows.Warmup: a resumed run inherits the warm
 		// phase's boundary from the snapshot (they agree on fresh runs).
 		measured := e.t >= wind.warmup
 
-		if e.kind == inject || e.kind == fault {
-			drain := false
-			if e.kind == inject {
-				e.do(r.st)
-				drain = true // an injection may have freed capacity
-			} else {
-				ev := r.plan.Events[e.fx]
-				r.applyFault(ev)
-				if ev.Repair {
-					sr.burstRepair = true
-				} else {
-					sr.burstFail = true
-				}
-				if sameInstantFaultPending(&sr.h, e.t) {
-					continue // finish the whole same-instant burst first
-				}
-				if r.evict && sr.burstFail {
-					r.evictDisplaced(&sr.h, e.t, evictHooks{
-						after: func(a *sched.Assignment, recovered bool, d time.Duration) {
-							res.Displaced++
-							if measured {
-								wind.cur.Displaced++
-							}
-							if recovered {
-								res.Recovered++
-								if measured {
-									wind.cur.Recovered++
-									sr.rep.add(float64(d))
-								}
-							}
-						},
-						lost: func(vm workload.VM) {
-							sr.resident--
-							if r.retry {
-								// Re-enters the queue now: wait measured
-								// from the eviction, lifetime restarting
-								// when re-placed.
-								vm.Arrival = e.t
-								sr.waiting = append(sr.waiting, queuedVM{vm: vm, displaced: true})
-								res.Enqueued++
-								res.DisplacedQueued++
-							} else {
-								res.DisplacedLost++
-							}
-						},
-					})
-				}
-				drain = sr.burstRepair
-				sr.burstFail, sr.burstRepair = false, false
-			}
-			if r.retry && drain {
-				sr.drainQueue(e.t, measured) // freed capacity retries the queue
-			}
-			perRes, _ := sr.utilNow()
-			wind.set(perRes)
-			continue
-		}
-		if e.kind == departure {
-			if e.a != nil { // nil: ghost of a displaced VM, already handled
-				r.sch.Release(e.a)
-				sr.resident--
-				if r.retry {
-					sr.drainQueue(e.t, measured)
-				}
-			}
-			perRes, _ := sr.utilNow()
-			wind.set(perRes)
+		if e.kind != arrival {
+			sr.handleEvent(e, measured)
 			continue
 		}
 		if err := e.vm.Validate(); err != nil {
@@ -496,10 +560,11 @@ func (sr *streamRun) loop() error {
 			res.Arrivals++
 			wind.cur.Arrivals++
 		}
+		sr.admitSeq++
 		if r.retry && sr.wHead < len(sr.waiting) {
 			// FIFO fairness: queued VMs go first; the arrival joins the
 			// tail and is not sampled as a direct decision.
-			sr.waiting = append(sr.waiting, queuedVM{vm: e.vm})
+			sr.admit(queuedVM{vm: e.vm, seq: sr.admitSeq})
 			res.Enqueued++
 			sr.drainQueue(e.t, measured)
 		} else {
@@ -512,7 +577,7 @@ func (sr *streamRun) loop() error {
 			}
 			if err != nil {
 				if r.retry {
-					sr.waiting = append(sr.waiting, queuedVM{vm: e.vm})
+					sr.admit(queuedVM{vm: e.vm, seq: sr.admitSeq})
 					res.Enqueued++
 				} else {
 					res.TotalDropped++
@@ -542,6 +607,102 @@ func (sr *streamRun) loop() error {
 		}
 	}
 	return nil
+}
+
+// nextArrival materializes the pending arrival as an event and pulls its
+// successor — unless the arrival budget or the simulated-time bound stops
+// the run there. Shared between the serial and the agent loop.
+func (sr *streamRun) nextArrival() event {
+	cfg, res := sr.cfg, sr.res
+	e := event{t: sr.pending.Arrival, kind: arrival, vm: sr.pending}
+	if cfg.Workload.MaxArrivals > 0 && res.TotalArrivals >= cfg.Workload.MaxArrivals {
+		sr.more = false
+	} else {
+		sr.pending, sr.more = sr.s.Next()
+		if sr.more && cfg.Workload.Duration > 0 && sr.pending.Arrival > cfg.Workload.Duration {
+			sr.more = false
+		}
+		if sr.more {
+			res.TotalArrivals++
+		}
+	}
+	return e
+}
+
+// handleEvent processes one non-arrival event — injection, fault-plan
+// event or departure — with its queue drains and window bookkeeping. The
+// machinery is shared verbatim between the serial loop and the agent
+// loop (which flushes any staged propose round before calling it).
+func (sr *streamRun) handleEvent(e event, measured bool) {
+	r, res, wind := sr.r, sr.res, sr.wind
+	if e.kind == inject || e.kind == fault {
+		drain := false
+		if e.kind == inject {
+			e.do(r.st)
+			drain = true // an injection may have freed capacity
+		} else {
+			ev := r.plan.Events[e.fx]
+			r.applyFault(ev)
+			if ev.Repair {
+				sr.burstRepair = true
+			} else {
+				sr.burstFail = true
+			}
+			if sameInstantFaultPending(&sr.h, e.t) {
+				return // finish the whole same-instant burst first
+			}
+			if r.evict && sr.burstFail {
+				r.evictDisplaced(&sr.h, e.t, evictHooks{
+					after: func(a *sched.Assignment, recovered bool, d time.Duration) {
+						res.Displaced++
+						if measured {
+							wind.cur.Displaced++
+						}
+						if recovered {
+							res.Recovered++
+							if measured {
+								wind.cur.Recovered++
+								sr.rep.add(float64(d))
+							}
+						}
+					},
+					lost: func(vm workload.VM) {
+						sr.resident--
+						if r.retry {
+							// Re-enters the queue now: wait measured
+							// from the eviction, lifetime restarting
+							// when re-placed.
+							vm.Arrival = e.t
+							sr.admitSeq++
+							sr.admit(queuedVM{vm: vm, displaced: true, seq: sr.admitSeq})
+							res.Enqueued++
+							res.DisplacedQueued++
+						} else {
+							res.DisplacedLost++
+						}
+					},
+				})
+			}
+			drain = sr.burstRepair
+			sr.burstFail, sr.burstRepair = false, false
+		}
+		if r.retry && drain {
+			sr.drainQueue(e.t, measured) // freed capacity retries the queue
+		}
+		perRes, _ := sr.utilNow()
+		wind.set(perRes)
+		return
+	}
+	// Departure. nil assignment: ghost of a displaced VM, already handled.
+	if e.a != nil {
+		r.sch.Release(e.a)
+		sr.resident--
+		if r.retry {
+			sr.drainQueue(e.t, measured)
+		}
+	}
+	perRes, _ := sr.utilNow()
+	wind.set(perRes)
 }
 
 // finish seals the run: leftover queue entries, aggregate averages,
@@ -574,7 +735,7 @@ func (sr *streamRun) finish() *SteadyState {
 	res.ReplaceP99 = time.Duration(sr.rep.percentile(99))
 	res.RateMultiplier = finalMultiplier(sr.s)
 
-	if sr.cfg.Drain {
+	if sr.cfg.Workload.Drain {
 		// Unmetered: release the survivors so the state ends empty.
 		for sr.h.Len() > 0 {
 			e := sr.h.Pop()

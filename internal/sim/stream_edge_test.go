@@ -26,9 +26,7 @@ func edgeTrace(n int) *workload.Trace {
 func TestRunStreamDurationOnWindowBoundary(t *testing.T) {
 	tr := edgeTrace(200) // arrivals 0..1990
 	_, r := eqRunner(t, "RISA", Config{})
-	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{
-		Duration: 1000, Window: 250,
-	})
+	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{Workload: StreamWorkload{Duration: 1000}, Windows: StreamWindows{Window: 250}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,9 +59,7 @@ func TestRunStreamDurationOnWindowBoundary(t *testing.T) {
 func TestRunStreamMaxArrivalsZero(t *testing.T) {
 	tr := edgeTrace(50) // arrivals 0..490
 	_, r := eqRunner(t, "RISA", Config{})
-	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{
-		MaxArrivals: 0, Duration: 10000, Window: 100,
-	})
+	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{Workload: StreamWorkload{MaxArrivals: 0, Duration: 10000}, Windows: StreamWindows{Window: 100}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +76,7 @@ func TestRunStreamMaxArrivalsZero(t *testing.T) {
 	}
 
 	_, r2 := eqRunner(t, "RISA", Config{})
-	if _, err := r2.RunStream(workload.NewTraceStream(tr), StreamConfig{Window: 100}); err == nil {
+	if _, err := r2.RunStream(workload.NewTraceStream(tr), StreamConfig{Windows: StreamWindows{Window: 100}}); err == nil {
 		t.Fatal("MaxArrivals=0 with Duration=0 validated")
 	}
 }
@@ -89,9 +85,9 @@ func TestRunStreamMaxArrivalsZero(t *testing.T) {
 // leave its restored state completely empty again — every restored
 // placement, flow and queue entry released.
 func TestRunStreamDrainAfterRestore(t *testing.T) {
-	cfg := StreamConfig{MaxArrivals: 1500, Warmup: 12600, Window: 6300}
+	cfg := StreamConfig{Workload: StreamWorkload{MaxArrivals: 1500}, Windows: StreamWindows{Warmup: 12600, Window: 6300}}
 	warm := cfg
-	warm.SnapshotAt = 25000
+	warm.Snapshot.At = 25000
 	_, wr := eqRunner(t, "RISA", Config{})
 	snap, err := wr.WarmStream(eqStream(t), warm)
 	if err != nil {
@@ -102,7 +98,7 @@ func TestRunStreamDrainAfterRestore(t *testing.T) {
 	}
 
 	drainCfg := cfg
-	drainCfg.Drain = true
+	drainCfg.Workload.Drain = true
 	st, rr := eqRunner(t, "RISA", Config{})
 	if _, err := rr.ResumeStream(eqStream(t), snap, drainCfg); err != nil {
 		t.Fatal(err)
@@ -134,18 +130,13 @@ func TestRunStreamDrainAfterRestore(t *testing.T) {
 func TestRunStreamSnapshotAtValidation(t *testing.T) {
 	tr := edgeTrace(50)
 	_, r := eqRunner(t, "RISA", Config{})
-	if _, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{
-		MaxArrivals: 50, Window: 100, SnapshotAt: -1,
-	}); err == nil {
+	if _, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{Workload: StreamWorkload{MaxArrivals: 50}, Windows: StreamWindows{Window: 100}, Snapshot: StreamSnapshot{At: -1}}); err == nil {
 		t.Fatal("negative SnapshotAt validated")
 	}
 
 	fired := false
 	_, r2 := eqRunner(t, "RISA", Config{})
-	ss, err := r2.RunStream(workload.NewTraceStream(tr), StreamConfig{
-		MaxArrivals: 50, Window: 100,
-		SnapshotAt: 1 << 40, OnSnapshot: func(*Snapshot) { fired = true },
-	})
+	ss, err := r2.RunStream(workload.NewTraceStream(tr), StreamConfig{Workload: StreamWorkload{MaxArrivals: 50}, Windows: StreamWindows{Window: 100}, Snapshot: StreamSnapshot{At: 1 << 40, OnSnapshot: func(*Snapshot) { fired = true }}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,9 +31,7 @@ func TestRunStreamMatchesFiniteRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, r2 := newRunner(t, func(s *sched.State) sched.Scheduler { return core.New(s) })
-	ss, err := r2.RunStream(workload.NewTraceStream(tr), StreamConfig{
-		MaxArrivals: tr.Len(), Window: 100,
-	})
+	ss, err := r2.RunStream(workload.NewTraceStream(tr), StreamConfig{Workload: StreamWorkload{MaxArrivals: tr.Len()}, Windows: StreamWindows{Window: 100}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,9 +52,7 @@ func TestRunStreamMatchesFiniteRun(t *testing.T) {
 func TestRunStreamWarmupAndWindows(t *testing.T) {
 	tr := streamTrace() // arrivals at 0,5,...,1995
 	_, r := newRunner(t, func(s *sched.State) sched.Scheduler { return core.New(s) })
-	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{
-		MaxArrivals: tr.Len(), Warmup: 500, Window: 250,
-	})
+	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{Workload: StreamWorkload{MaxArrivals: tr.Len()}, Windows: StreamWindows{Warmup: 500, Window: 250}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,9 +113,7 @@ func TestRunStreamWarmupAndWindows(t *testing.T) {
 func TestRunStreamDrain(t *testing.T) {
 	tr := streamTrace()
 	st, r := newRunner(t, func(s *sched.State) sched.Scheduler { return core.New(s) })
-	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{
-		MaxArrivals: tr.Len(), Window: 100, Drain: true,
-	})
+	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{Workload: StreamWorkload{MaxArrivals: tr.Len(), Drain: true}, Windows: StreamWindows{Window: 100}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,9 +131,7 @@ func TestRunStreamDrain(t *testing.T) {
 func TestRunStreamDurationBound(t *testing.T) {
 	tr := streamTrace()
 	_, r := newRunner(t, func(s *sched.State) sched.Scheduler { return core.New(s) })
-	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{
-		Duration: 1000, Window: 100,
-	})
+	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{Workload: StreamWorkload{Duration: 1000}, Windows: StreamWindows{Window: 100}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +151,7 @@ func TestRunStreamDurationExcludesFirstArrival(t *testing.T) {
 		{ID: 0, Arrival: 500, Lifetime: 10, Req: units.Vec(1, 1, 1)},
 	}}
 	_, r := newRunner(t, func(s *sched.State) sched.Scheduler { return core.New(s) })
-	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{Duration: 100, Window: 10})
+	ss, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{Workload: StreamWorkload{Duration: 100}, Windows: StreamWindows{Window: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,10 +165,12 @@ func TestRunStreamConfigValidation(t *testing.T) {
 	tr := streamTrace()
 	_, r := newRunner(t, func(s *sched.State) sched.Scheduler { return core.New(s) })
 	for name, cfg := range map[string]StreamConfig{
-		"no stop criterion": {Window: 10},
-		"no window":         {MaxArrivals: 10},
-		"negative warmup":   {MaxArrivals: 10, Window: 10, Warmup: -1},
-		"warmup>=duration":  {Duration: 10, Warmup: 10, Window: 5},
+		"no stop criterion": {Windows: StreamWindows{Window: 10}},
+		"no window":         {Workload: StreamWorkload{MaxArrivals: 10}},
+		"negative warmup":   {Workload: StreamWorkload{MaxArrivals: 10}, Windows: StreamWindows{Window: 10, Warmup: -1}},
+		"warmup>=duration":  {Workload: StreamWorkload{Duration: 10}, Windows: StreamWindows{Warmup: 10, Window: 5}},
+		"round w/o agents":  {Workload: StreamWorkload{MaxArrivals: 10}, Windows: StreamWindows{Window: 10}, Concurrency: StreamConcurrency{Round: 4}},
+		"agents+snapshot":   {Workload: StreamWorkload{MaxArrivals: 10}, Windows: StreamWindows{Window: 10}, Snapshot: StreamSnapshot{At: 5}, Concurrency: StreamConcurrency{Agents: 2}},
 	} {
 		if _, err := r.RunStream(workload.NewTraceStream(tr), cfg); err == nil {
 			t.Errorf("%s: want error", name)
@@ -214,9 +208,7 @@ func TestRunStreamRetryQueue(t *testing.T) {
 		{ID: 3, Arrival: 12, Lifetime: 10, Req: units.Vec(512, 16, 128)},
 		{ID: 4, Arrival: 22, Lifetime: 10, Req: units.Vec(512, 16, 128)},
 	}}
-	res, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{
-		MaxArrivals: 5, Window: 10, Drain: true,
-	})
+	res, err := r.RunStream(workload.NewTraceStream(tr), StreamConfig{Workload: StreamWorkload{MaxArrivals: 5, Drain: true}, Windows: StreamWindows{Window: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ type Rack struct {
 	boxes  []*Box                        // all boxes, in intra-rack index order
 	byKind [units.NumResources][]*Box    // same boxes grouped by resource kind
 	idx    [units.NumResources]kindIndex // incremental free-capacity index
+	gen    uint64                        // compute generation (see Gen)
 }
 
 // Index returns the rack's position in the cluster.
@@ -224,6 +225,7 @@ func (c *Cluster) SetBoxFailed(b *Box, failed bool) {
 // false so the rescan sees the box's true free amount.
 func (c *Cluster) reseedOnRepair(b *Box) {
 	rack := c.racks[b.rack]
+	rack.gen++
 	ix := &rack.idx[b.kind]
 	ix.total += b.free
 	ix.rescan(rack.byKind[b.kind])

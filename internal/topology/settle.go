@@ -1,0 +1,35 @@
+package topology
+
+import "risa/internal/units"
+
+// Gen returns the rack's compute generation: a counter bumped by every
+// mutation of the rack's visible free capacity (allocate, release, fail,
+// repair). Optimistic schedulers record it when proposing a placement
+// and compare it at commit time — an unchanged generation proves the
+// rack's compute state is exactly as the proposal saw it (DESIGN.md
+// §12). Generation maintenance is pure integer arithmetic, so the
+// serial hot path stays allocation-free and bit-identical.
+func (r *Rack) Gen() uint64 { return r.gen }
+
+// RackGen returns rack i's compute generation (see Rack.Gen).
+func (c *Cluster) RackGen(i int) uint64 { return c.racks[i].gen }
+
+// Settle materializes every lazy index tier: dirty rack-level kind
+// indexes are rescanned and the cluster-level candidate bounds
+// tightened to the exact maxima. After Settle, MaxFree, FitsWholeVM,
+// NextRackWith and NextRackFits are pure reads until the next mutation
+// — the precondition for the concurrent propose phase, where multiple
+// agents query the same cluster without synchronization (DESIGN.md
+// §12). Cost is one dirty-flag sweep over racks×kinds plus a rescan
+// per dirty index, charged once per propose round.
+func (c *Cluster) Settle() {
+	for i, rack := range c.racks {
+		for _, k := range units.Resources() {
+			ix := &rack.idx[k]
+			if ix.dirty {
+				ix.rescan(rack.byKind[k])
+			}
+			c.cidx[k].set(i, ix.max)
+		}
+	}
+}

@@ -30,8 +30,8 @@ set -euo pipefail
 ITERS=${ITERS:-1000x}
 OUT=${OUT:-alloc-guard}
 BASELINE=${BASELINE:-scripts/ci/allocs-baseline.txt}
-HOT='BenchmarkScheduleOne$|BenchmarkScheduleOneAllocs|BenchmarkScheduleOneUnderFaults|BenchmarkScheduleOneResumed|BenchmarkAllocateVM$'
-RUN='BenchmarkChurnSteadyState'
+HOT='BenchmarkScheduleOne$|BenchmarkScheduleOneAllocs|BenchmarkScheduleOneUnderFaults|BenchmarkScheduleOneResumed|BenchmarkAllocateVM$|BenchmarkProposeCommit$'
+RUN='BenchmarkChurnSteadyState$|BenchmarkChurnAgents/agents4'
 
 mkdir -p "$OUT"
 : >"$OUT/measured.txt"
