@@ -181,6 +181,80 @@ func BenchmarkScheduleOneUnderFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleOnePreempt asserts the zero-allocation contract of
+// the preemption path: on a saturated cluster of tier-2 residents, every
+// iteration runs the full preemption transaction for a tier-0 arrival —
+// candidate gathering into the pooled PreemptScratch, eligibility filter,
+// cheapest-first sort, hold-and-release, the retry Schedule — and then
+// restores saturation by releasing the preemptor and re-placing the
+// victim. The arrival's shape equals the fillers', so every round evicts
+// exactly one victim and the scratch high-water marks stay put. Enforced
+// at 0 allocs/op by scripts/ci/allocguard.sh like the other ScheduleOne
+// contracts.
+func BenchmarkScheduleOnePreempt(b *testing.B) {
+	for _, alg := range experiments.Algorithms {
+		b.Run(alg, func(b *testing.B) {
+			st, err := experiments.DefaultSetup().NewState()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sch, err := experiments.NewScheduler(alg, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Saturate with tier-2 fillers: stop at the first rejection.
+			var live []*sched.Assignment
+			for i := 0; ; i++ {
+				vm := workload.VM{ID: i, Lifetime: 1, Tier: 2, Req: units.Vec(8, 16, 128)}
+				a, err := sch.Schedule(vm)
+				if err != nil {
+					break
+				}
+				live = append(live, a)
+			}
+			var scr sched.Scratch
+			vm := workload.VM{ID: 10_000, Lifetime: 1, Tier: 0, Req: units.Vec(8, 16, 128)}
+			round := func() {
+				ps := scr.Preemption()
+				ps.Reset()
+				for j, la := range live {
+					ps.Add(la, j)
+				}
+				a, k := core.Preempt(st, sch, ps, vm)
+				if a == nil {
+					b.Fatal("saturated cluster must yield a victim")
+				}
+				// Restore saturation: the preemptor leaves, the victims
+				// re-place into the capacity it freed, records recycling
+				// through the pool.
+				sch.Release(a)
+				for v := 0; v < k; v++ {
+					idx := ps.Ref(v)
+					vmv := live[idx].VM
+					st.ReleaseVM(live[idx])
+					na, err := sch.Schedule(vmv)
+					if err != nil {
+						b.Fatalf("victim re-place: %v", err)
+					}
+					live[idx] = na
+				}
+			}
+			// Warm the pools and the scratch high-water marks.
+			for i := 0; i < 64; i++ {
+				round()
+			}
+			if avg := testing.AllocsPerRun(200, round); avg != 0 {
+				b.Fatalf("%s: %.2f allocs/op on the preempt path at steady state, want 0", alg, avg)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+		})
+	}
+}
+
 // BenchmarkScheduleOneResumed asserts the zero-allocation contract of
 // the decision path on a RESTORED datacenter: a half-loaded cluster is
 // captured with sim.CaptureState and rebuilt into a pristine state with

@@ -20,6 +20,10 @@
 //	risasim -exp faults -evict       # with displaced-VM recovery
 //	risasim -exp faults -mtbf 10000 -mttr 1000   # one custom MTBF rung
 //	risasim -exp faults -target-util 0.75 -duration 30000   # quick cell
+//	risasim -exp faults -tiers 0.2,0.3,0.5       # priority-tiered arrivals
+//	risasim -exp faults -tiers 0.2,0.3,0.5 -preempt  # ... with preemption
+//	risasim -exp slo                 # SLO ladder: tiers + preemption × faults × utilization
+//	risasim -exp slo -tiers 0.5,0.3,0.2          # custom priority mix
 //	risasim -exp churn -clone        # ladder on shared warm snapshots (one warmup per rung)
 //	risasim -exp faults -clone       # availability ladder on shared fault-free warm states
 //	risasim -exp churn -snapshot warm.gob     # save the warm state, then finish the run
@@ -38,10 +42,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"risa/internal/experiments"
 	"risa/internal/report"
 	"risa/internal/sim"
+	"risa/internal/workload"
 )
 
 // options holds the parsed command line; parseArgs keeps it separate from
@@ -59,6 +66,9 @@ type options struct {
 	mtbf       int64
 	mttr       int64
 	evict      bool
+	preempt    bool
+	tiers      string
+	tierMix    workload.TierMix // parsed -tiers (zero when the flag is absent)
 	clone      bool
 	agents     int
 	snapshot   string
@@ -71,17 +81,19 @@ type options struct {
 func parseArgs(args []string) (options, error) {
 	var o options
 	fs := flag.NewFlagSet("risasim", flag.ContinueOnError)
-	fs.StringVar(&o.exp, "exp", "all", "experiment to run: toy1, toy2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, pool, seeds, scale, churn, faults, resilience, defrag, stranding, queue, threetier, ablations, azure, all")
+	fs.StringVar(&o.exp, "exp", "all", "experiment to run: toy1, toy2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, pool, seeds, scale, churn, faults, slo, resilience, defrag, stranding, queue, threetier, ablations, azure, all")
 	fs.Int64Var(&o.seed, "seed", 1, "workload generation seed")
 	fs.IntVar(&o.uplinks, "uplinks", 0, "override box uplinks per box (0 = calibrated default)")
 	fs.IntVar(&o.parallel, "parallel", 0, "worker-pool width for experiment grids (0 = one per CPU, 1 = serial)")
 	fs.IntVar(&o.racks, "racks", 18, "cluster size in racks; for -exp scale, the sweep's largest point")
 	fs.StringVar(&o.jsonPath, "json", "", "also archive every run as a JSON report at this path")
-	fs.Int64Var(&o.duration, "duration", 0, "for -exp churn/faults: cap each cell's simulated time in time units (0 = churn: arrival budget only, faults: 50000)")
-	fs.Float64Var(&o.targetUtil, "target-util", 0, "for -exp churn/faults: run one utilization rung at this binding-occupancy fraction instead of the ladder (>= 1 sustains overload, 0 = full ladder)")
-	fs.Int64Var(&o.mtbf, "mtbf", 0, "for -exp faults: per-box mean time between failures in time units (0 = default calm/storm MTBF ladder)")
-	fs.Int64Var(&o.mttr, "mttr", experiments.DefaultFaultMTTR, "for -exp faults: per-box mean time to repair in time units")
+	fs.Int64Var(&o.duration, "duration", 0, "for -exp churn/faults/slo: cap each cell's simulated time in time units (0 = churn: arrival budget only, faults/slo: 50000)")
+	fs.Float64Var(&o.targetUtil, "target-util", 0, "for -exp churn/faults/slo: run one utilization rung at this binding-occupancy fraction instead of the ladder (>= 1 sustains overload, 0 = full ladder)")
+	fs.Int64Var(&o.mtbf, "mtbf", 0, "for -exp faults/slo: per-box mean time between failures in time units (0 = default calm/storm MTBF ladder)")
+	fs.Int64Var(&o.mttr, "mttr", experiments.DefaultFaultMTTR, "for -exp faults/slo: per-box mean time to repair in time units")
 	fs.BoolVar(&o.evict, "evict", false, "for -exp faults: evict VMs from failed hardware and re-place them through the scheduler (default: VMs ride out outages in place)")
+	fs.BoolVar(&o.preempt, "preempt", false, "for -exp faults: let higher-tier arrivals preempt strictly-lower-tier residents when placement fails (victims re-enter through the retry queue; pair with -tiers)")
+	fs.StringVar(&o.tiers, "tiers", "", "for -exp faults/slo: priority mix as three comma-separated weights, highest tier first (e.g. 0.2,0.3,0.5; empty = faults untiered, slo default mix)")
 	fs.IntVar(&o.agents, "agents", 1, "for -exp churn: also run each rung with this many concurrent allocation agents (1 = serial only)")
 	fs.BoolVar(&o.clone, "clone", false, "for -exp churn/faults: share one warm state per rung across all algorithm cells instead of warming each cell separately (controlled comparison; not comparable to the fresh-warmup ladder)")
 	fs.StringVar(&o.snapshot, "snapshot", "", "for -exp churn: warm one RISA cell, save its warm state to this file, then finish the run")
@@ -123,6 +135,19 @@ func parseArgs(args []string) (options, error) {
 	if o.agents > 1 && o.exp != "churn" {
 		return o, fmt.Errorf("-agents requires -exp churn, got -exp %s", o.exp)
 	}
+	if o.preempt && o.exp != "faults" {
+		return o, fmt.Errorf("-preempt requires -exp faults (the slo experiment always preempts), got -exp %s", o.exp)
+	}
+	if o.tiers != "" {
+		if o.exp != "faults" && o.exp != "slo" {
+			return o, fmt.Errorf("-tiers requires -exp faults or -exp slo, got -exp %s", o.exp)
+		}
+		mix, err := parseTiers(o.tiers)
+		if err != nil {
+			return o, err
+		}
+		o.tierMix = mix
+	}
 	if o.agents > 1 && o.clone {
 		return o, fmt.Errorf("-agents and -clone are mutually exclusive (agent mode cannot resume snapshots)")
 	}
@@ -135,12 +160,57 @@ func parseArgs(args []string) (options, error) {
 	return o, nil
 }
 
+// parseTiers parses the -tiers flag: exactly workload.NumTiers
+// comma-separated non-negative weights, highest-priority tier first, at
+// least one of them positive. Weights are relative — they need not sum
+// to 1.
+func parseTiers(s string) (workload.TierMix, error) {
+	var mix workload.TierMix
+	parts := strings.Split(s, ",")
+	if len(parts) != workload.NumTiers {
+		return mix, fmt.Errorf("-tiers needs exactly %d comma-separated weights, got %q", workload.NumTiers, s)
+	}
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return mix, fmt.Errorf("-tiers weight %d: %w", i, err)
+		}
+		mix.Weights[i] = w
+	}
+	if err := mix.Validate(); err != nil {
+		return mix, fmt.Errorf("-tiers: %w", err)
+	}
+	if !mix.Enabled() {
+		return mix, fmt.Errorf("-tiers needs at least one positive weight, got %q", s)
+	}
+	return mix, nil
+}
+
 // faultsConfig turns the fault flags into the availability-ladder
 // configuration: the default MTBF × utilization grid, narrowed to one
 // MTBF rung by -mtbf (keeping the fault-free baseline for comparison)
 // and to one utilization rung by -target-util, time-capped by -duration.
 func faultsConfig(o options) experiments.FaultsConfig {
-	cfg := experiments.FaultsConfig{Duration: o.duration, MTTR: o.mttr, Evict: o.evict, Clone: o.clone}
+	cfg := experiments.FaultsConfig{Duration: o.duration, MTTR: o.mttr, Evict: o.evict, Clone: o.clone, Tiers: o.tierMix, Preempt: o.preempt}
+	if o.mtbf > 0 {
+		cfg.Rungs = []experiments.FaultRung{
+			{Label: "none"},
+			{Label: fmt.Sprintf("mtbf=%d", o.mtbf), MTBF: o.mtbf, MTTR: o.mttr},
+		}
+	}
+	if o.targetUtil > 0 {
+		cfg.Targets = []float64{o.targetUtil}
+	}
+	return cfg
+}
+
+// sloConfig turns the flags into the SLO-ladder configuration: the
+// default fault × utilization grid with the default priority mix,
+// narrowed to one MTBF rung by -mtbf and one utilization rung by
+// -target-util, time-capped by -duration, with -tiers overriding the
+// mix.
+func sloConfig(o options) experiments.SLOConfig {
+	cfg := experiments.SLOConfig{Duration: o.duration, MTTR: o.mttr, Tiers: o.tierMix}
 	if o.mtbf > 0 {
 		cfg.Rungs = []experiments.FaultRung{
 			{Label: "none"},
@@ -286,7 +356,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(setup, opts.exp, scaleMaxRacks(opts), churnConfig(opts), faultsConfig(opts)); err != nil {
+	if err := run(setup, opts.exp, scaleMaxRacks(opts), churnConfig(opts), faultsConfig(opts), sloConfig(opts)); err != nil {
 		fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
 		os.Exit(1)
 	}
@@ -325,9 +395,10 @@ func record(results map[string]*sim.Result) {
 
 // run executes one experiment name against the setup; scaleMax is the
 // largest point of the -exp scale ladder (≤ 0 selects the 1152-rack
-// default), churn the -exp churn configuration and faultsCfg the -exp
-// faults one (zero values = default ladders).
-func run(setup experiments.Setup, exp string, scaleMax int, churn experiments.ChurnConfig, faultsCfg experiments.FaultsConfig) error {
+// default), churn the -exp churn configuration, faultsCfg the -exp
+// faults one and sloCfg the -exp slo one (zero values = default
+// ladders).
+func run(setup experiments.Setup, exp string, scaleMax int, churn experiments.ChurnConfig, faultsCfg experiments.FaultsConfig, sloCfg experiments.SLOConfig) error {
 	needMatrix := map[string]bool{
 		"fig7": true, "fig8": true, "fig9": true, "fig10": true, "fig12": true,
 		"azure": true, "all": true,
@@ -432,6 +503,13 @@ func run(setup experiments.Setup, exp string, scaleMax int, churn experiments.Ch
 		}
 		fmt.Println(f.Render())
 	}
+	if exp == "slo" {
+		o, err := setup.RunSLO(sloCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(o.Render())
+	}
 	if exp == "threetier" || exp == "all" {
 		azureSetup := experiments.AzureSetupFrom(setup)
 		tt, err := azureSetup.RunThreeTier()
@@ -484,7 +562,7 @@ func run(setup experiments.Setup, exp string, scaleMax int, churn experiments.Ch
 	}
 	if !needMatrix[exp] {
 		switch exp {
-		case "toy1", "toy2", "fig5", "fig6", "fig11", "pool", "ablations", "seeds", "scale", "churn", "faults", "resilience", "defrag", "stranding", "queue", "threetier":
+		case "toy1", "toy2", "fig5", "fig6", "fig11", "pool", "ablations", "seeds", "scale", "churn", "faults", "slo", "resilience", "defrag", "stranding", "queue", "threetier":
 		default:
 			return fmt.Errorf("unknown experiment %q", exp)
 		}

@@ -16,20 +16,20 @@ func quickSetup() experiments.Setup {
 
 func TestRunToyExperiments(t *testing.T) {
 	for _, exp := range []string{"toy1", "toy2"} {
-		if err := run(quickSetup(), exp, 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}); err != nil {
+		if err := run(quickSetup(), exp, 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}, experiments.SLOConfig{}); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(quickSetup(), "fig99", 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}); err == nil {
+	if err := run(quickSetup(), "fig99", 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}, experiments.SLOConfig{}); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
 
 func TestRunFig6(t *testing.T) {
-	if err := run(quickSetup(), "fig6", 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}); err != nil {
+	if err := run(quickSetup(), "fig6", 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}, experiments.SLOConfig{}); err != nil {
 		t.Error(err)
 	}
 }
@@ -38,7 +38,7 @@ func TestRunFig5(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full synthetic run")
 	}
-	if err := run(quickSetup(), "fig5", 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}); err != nil {
+	if err := run(quickSetup(), "fig5", 0, experiments.ChurnConfig{}, experiments.FaultsConfig{}, experiments.SLOConfig{}); err != nil {
 		t.Error(err)
 	}
 }
@@ -133,7 +133,7 @@ func TestRunScaleExperimentWiring(t *testing.T) {
 	// scale experiment and render without error.
 	setup := quickSetup()
 	setup.Topology.Racks = 2
-	if err := run(setup, "scale", 2, experiments.ChurnConfig{}, experiments.FaultsConfig{}); err != nil {
+	if err := run(setup, "scale", 2, experiments.ChurnConfig{}, experiments.FaultsConfig{}, experiments.SLOConfig{}); err != nil {
 		t.Error(err)
 	}
 }
@@ -254,7 +254,7 @@ func TestRunChurnExperimentWiring(t *testing.T) {
 		Arrivals: 4000,
 		Duration: 30000,
 		Rungs:    []experiments.ChurnRung{{Label: "50%", Target: 0.5}},
-	}, experiments.FaultsConfig{}); err != nil {
+	}, experiments.FaultsConfig{}, experiments.SLOConfig{}); err != nil {
 		t.Error(err)
 	}
 }
@@ -309,7 +309,7 @@ func TestRunFaultsExperimentWiring(t *testing.T) {
 		Targets:  []float64{0.5},
 		Rungs:    []experiments.FaultRung{{Label: "smoke", MTBF: 4000, MTTR: 500}},
 		Evict:    true,
-	}); err != nil {
+	}, experiments.SLOConfig{}); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"risa/internal/sched"
+	"risa/internal/workload"
+)
+
+// Preempt admits a high-priority arrival that failed both placement tiers
+// by displacing a minimal set of strictly-lower-priority victims. The
+// caller gathers candidate victims into ps (Add, with an opaque ref per
+// victim); Preempt filters them down to what the arrival's tier may evict
+// (see PreemptScratch.FilterEligible — equal-or-higher tiers and victims
+// on failed hardware are never touched), sorts cheapest-first by freed
+// capacity with VM id breaking ties, and releases one victim at a time —
+// retrying the bound scheduler after each — until the arrival places.
+//
+// The greedy cheapest-first prefix is "minimal" in the cost order: no
+// victim is evicted once the arrival fits, and each eviction was
+// necessary at the time it was made (the scheduler had just failed
+// without it). Like Displace, the transaction is built on
+// ReleaseVMKeep/Adopt: each victim's record stays with its owner, its
+// exact holdings held in the scratch, so a failed attempt restores every
+// victim bit-for-bit and returns (nil, 0) with the state untouched.
+//
+// On success it returns the arrival's assignment and the number k of
+// victims consumed: victims 0..k-1 (ps.Victim/ps.Ref in post-sort order)
+// have been released, their cleared records still owned by the caller,
+// and the caller decides their fate — the simulator re-queues them into
+// the retry queue, where the tier-ordered discipline drains them once
+// capacity returns.
+func Preempt(st *sched.State, sch sched.Scheduler, ps *sched.PreemptScratch, vm workload.VM) (*sched.Assignment, int) {
+	ps.FilterEligible(vm.Tier)
+	ps.SortByCost()
+	n := ps.Len()
+	for k := 0; k < n; k++ {
+		ps.HoldAndRelease(st, k)
+		if a, err := sch.Schedule(vm); err == nil {
+			return a, k + 1
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		ps.Restore(st, k)
+	}
+	return nil, 0
+}

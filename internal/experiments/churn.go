@@ -124,6 +124,17 @@ type Churn struct {
 // any feedback; sub-unity rungs then hold the point with a
 // UtilizationController, overload rungs keep the fixed (infeasible) rate.
 func churnStream(seed int64, rung ChurnRung, capacity [units.NumResources]units.Amount) (*workload.SyntheticStream, error) {
+	cfg, err := churnStreamConfig(seed, rung, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.NewStream()
+}
+
+// churnStreamConfig computes the stream configuration churnStream builds
+// its stream from, exposed separately so variants of the ladder (the SLO
+// experiment's tiered streams) can adjust the config before opening it.
+func churnStreamConfig(seed int64, rung ChurnRung, capacity [units.NumResources]units.Amount) (workload.SyntheticConfig, error) {
 	cfg := workload.DefaultSyntheticConfig()
 	cfg.Seed = seed
 	cfg.LifetimeStep = 0 // stationary lifetimes
@@ -144,13 +155,13 @@ func churnStream(seed int64, rung ChurnRung, capacity [units.NumResources]units.
 		}
 	}
 	if bindingRate <= 0 {
-		return nil, fmt.Errorf("experiments: churn cluster has no capacity")
+		return cfg, fmt.Errorf("experiments: churn cluster has no capacity")
 	}
 	cfg.MeanInterarrival = 1 / (rung.Target * bindingRate)
 	if rung.Target < 1 {
 		cfg.Controller = &workload.UtilizationController{Target: rung.Target}
 	}
-	return cfg.NewStream()
+	return cfg, nil
 }
 
 // RunChurn executes the steady-state churn grid: every rung of the

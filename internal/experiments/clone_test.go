@@ -14,6 +14,9 @@ func stripSS(r *sim.SteadyState) {
 	r.SchedulingTime, r.WallTime = 0, 0
 	r.LatencyP50, r.LatencyP95, r.LatencyP99 = 0, 0, 0
 	r.ReplaceP50, r.ReplaceP95, r.ReplaceP99 = 0, 0, 0
+	for t := range r.Tiers {
+		r.Tiers[t].LatencyP50, r.Tiers[t].LatencyP95, r.Tiers[t].LatencyP99 = 0, 0, 0
+	}
 }
 
 // cloneChurnConfig keeps the clone-mode grid small: one rung, a short

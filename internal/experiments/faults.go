@@ -57,6 +57,14 @@ type FaultsConfig struct {
 	// evicted and re-placed through the scheduler instead of riding out
 	// the outage in place.
 	Evict bool
+	// Tiers optionally stamps a priority mix on arrivals (zero = every
+	// VM tier 0, the untiered ladder, bit-identical to before tiers
+	// existed).
+	Tiers workload.TierMix
+	// Preempt lets higher-tier arrivals displace strictly-lower-tier
+	// residents when placement fails (implies the retry queue; pointless
+	// without a Tiers mix, since an untiered ladder has no lower tiers).
+	Preempt bool
 
 	// Clone switches the ladder to warm-state sharing: each utilization
 	// target is warmed ONCE, fault-free, under RISA, to the end of
@@ -161,7 +169,7 @@ func (s Setup) RunFaults(cfg FaultsConfig) (*Faults, error) {
 		warmCfg := streamCfg
 		warmCfg.Snapshot.At = warmup
 		Engine{}.ForEach(len(cfg.Targets), func(i int) {
-			runner, stream, err := s.newFaultCell("RISA", cfg.Targets[i])
+			runner, stream, err := s.newFaultCell("RISA", cfg.Targets[i], cfg.Tiers)
 			if err != nil {
 				warmErrs[i] = err
 				return
@@ -178,14 +186,21 @@ func (s Setup) RunFaults(cfg FaultsConfig) (*Faults, error) {
 	errs := make([]error, len(out.Cells))
 	Engine{}.ForEach(len(out.Cells), func(i int) {
 		cell := &out.Cells[i]
-		runner, stream, err := s.newFaultCell(cell.Algorithm, cell.Target)
+		runner, stream, err := s.newFaultCell(cell.Algorithm, cell.Target, cfg.Tiers)
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		cellCfg := streamCfg
-		if plan := plans[i/cellsPerRung]; plan != nil {
+		plan := plans[i/cellsPerRung]
+		if plan != nil {
 			cellCfg.Faults = sim.StreamFaults{Plan: plan, Evict: cfg.Evict}
+		}
+		if cfg.Preempt {
+			// Preemption re-queues its victims, so it rides on the retry
+			// queue; the struct above stays byte-identical when off.
+			cellCfg.Faults.Retry = true
+			cellCfg.Faults.Preempt = true
 		}
 		if cfg.Clone {
 			snap := snaps[(i%cellsPerRung)/len(Algorithms)]
@@ -233,7 +248,7 @@ func (s Setup) RunFaultCell(algorithm string, target float64, rung FaultRung, ev
 // read-only) plan; a nil plan runs the fault-free baseline. The plan
 // rides in through StreamConfig.Faults, the stream-level fault surface.
 func (s Setup) runFaultCell(algorithm string, target float64, plan *faults.Plan, evict bool, cfg sim.StreamConfig) (*sim.SteadyState, error) {
-	runner, stream, err := s.newFaultCell(algorithm, target)
+	runner, stream, err := s.newFaultCell(algorithm, target, workload.TierMix{})
 	if err != nil {
 		return nil, err
 	}
@@ -244,9 +259,10 @@ func (s Setup) runFaultCell(algorithm string, target float64, plan *faults.Plan,
 }
 
 // newFaultCell builds the pristine state, scheduler, runner and stream
-// one availability cell runs on. The fault plan is not bound here — it
-// enters per run through StreamConfig.Faults.
-func (s Setup) newFaultCell(algorithm string, target float64) (*sim.Runner, *workload.SyntheticStream, error) {
+// one availability cell runs on — the churn ladder's controlled stream,
+// with the priority mix (when enabled) stamped on arrivals. The fault
+// plan is not bound here — it enters per run through StreamConfig.Faults.
+func (s Setup) newFaultCell(algorithm string, target float64, mix workload.TierMix) (*sim.Runner, *workload.SyntheticStream, error) {
 	st, err := s.NewState()
 	if err != nil {
 		return nil, nil, err
@@ -255,7 +271,12 @@ func (s Setup) newFaultCell(algorithm string, target float64) (*sim.Runner, *wor
 	for _, k := range units.Resources() {
 		capacity[k] = st.Cluster.TotalCapacity(k)
 	}
-	stream, err := churnStream(s.Seed, ChurnRung{Target: target}, capacity)
+	scfg, err := churnStreamConfig(s.Seed, ChurnRung{Target: target}, capacity)
+	if err != nil {
+		return nil, nil, err
+	}
+	scfg.Tiers = mix
+	stream, err := scfg.NewStream()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,221 @@
+// The SLO ladder (`-exp slo`): priority tiers and preemption under the
+// availability ladder's fault regimes. Every cell runs the churn
+// experiment's controlled stream with a tier mix stamped on arrivals,
+// displaced-VM recovery, the retry queue and preemption all on, then
+// reports per-tier acceptance — the question the ladder answers is
+// whether preemption holds tier 0's availability through storms that
+// visibly dent the lower tiers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"risa/internal/faults"
+	"risa/internal/sim"
+	"risa/internal/workload"
+)
+
+// SLOTargetPct is the headline availability objective the ladder grades
+// tier 0 against: accepted/arrivals over the measured phase, in percent.
+const SLOTargetPct = 99.9
+
+// SLOConfig parameterizes the `-exp slo` priority/preemption ladder.
+type SLOConfig struct {
+	// Arrivals caps each cell's arrival budget (default 100 000 — the
+	// Duration cap below usually binds first).
+	Arrivals int
+	// Duration is each cell's simulated-time cap and the fault plan's
+	// generation horizon (default 50 000).
+	Duration int64
+	// Targets is the utilization axis as binding-occupancy fractions
+	// (default 0.60 and 0.90).
+	Targets []float64
+	// Rungs is the fault axis (default DefaultFaultRungs).
+	Rungs []FaultRung
+	// MTTR overrides the default rungs' repair time (ignored when Rungs
+	// is given explicitly).
+	MTTR int64
+	// Tiers is the priority mix stamped on arrivals (default
+	// workload.DefaultTierMix).
+	Tiers workload.TierMix
+}
+
+// SLOCell is one (fault rung, utilization target, algorithm) tiered
+// steady-state run with preemption on.
+type SLOCell struct {
+	Rung      FaultRung
+	Target    float64
+	Algorithm string
+	Result    *sim.SteadyState
+}
+
+// SLO is the full fault × utilization × algorithm grid of tiered runs.
+type SLO struct {
+	Setup    Setup
+	Arrivals int
+	Duration int64
+	Mix      workload.TierMix
+	Cells    []SLOCell // rung-major, then target, then Algorithms order
+}
+
+// RunSLO executes the SLO ladder: every fault rung at every utilization
+// target under every algorithm, each cell a fresh datacenter consuming a
+// tiered controlled stream with eviction, retry and preemption on. Plans
+// and streams are seeded deterministically, so the grid is bit-identical
+// regardless of the worker-pool width (wall-clock latency lines aside).
+func (s Setup) RunSLO(cfg SLOConfig) (*SLO, error) {
+	if cfg.Arrivals == 0 {
+		cfg.Arrivals = 100000
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 50000
+	}
+	if cfg.Arrivals < 0 || cfg.Duration < 0 {
+		return nil, fmt.Errorf("experiments: negative SLO bounds (arrivals %d, duration %d)", cfg.Arrivals, cfg.Duration)
+	}
+	if len(cfg.Targets) == 0 {
+		cfg.Targets = []float64{0.60, 0.90}
+	}
+	for _, target := range cfg.Targets {
+		if target <= 0 {
+			return nil, fmt.Errorf("experiments: SLO ladder target must be positive, got %g", target)
+		}
+	}
+	if len(cfg.Rungs) == 0 {
+		cfg.Rungs = DefaultFaultRungs(cfg.MTTR)
+	}
+	for _, r := range cfg.Rungs {
+		if r.MTBF < 0 || (r.MTBF > 0 && r.MTTR <= 0) {
+			return nil, fmt.Errorf("experiments: SLO rung %q has MTBF %d / MTTR %d", r.Label, r.MTBF, r.MTTR)
+		}
+	}
+	if !cfg.Tiers.Enabled() {
+		cfg.Tiers = workload.DefaultTierMix()
+	}
+	if err := cfg.Tiers.Validate(); err != nil {
+		return nil, err
+	}
+	warmup, window := ChurnPhases(cfg.Duration)
+
+	out := &SLO{Setup: s, Arrivals: cfg.Arrivals, Duration: cfg.Duration, Mix: cfg.Tiers}
+	// One plan per rung, shared read-only across the rung's cells, like
+	// the availability ladder.
+	plans := make([]*faults.Plan, len(cfg.Rungs))
+	for i, rung := range cfg.Rungs {
+		var err error
+		if plans[i], err = s.faultPlan(rung, cfg.Duration); err != nil {
+			return nil, err
+		}
+	}
+	out.Cells = make([]SLOCell, 0, len(cfg.Rungs)*len(cfg.Targets)*len(Algorithms))
+	for _, rung := range cfg.Rungs {
+		for _, target := range cfg.Targets {
+			for _, alg := range Algorithms {
+				out.Cells = append(out.Cells, SLOCell{Rung: rung, Target: target, Algorithm: alg})
+			}
+		}
+	}
+	streamCfg := sim.StreamConfig{
+		Workload: sim.StreamWorkload{MaxArrivals: cfg.Arrivals, Duration: cfg.Duration},
+		Windows:  sim.StreamWindows{Warmup: warmup, Window: window},
+	}
+	cellsPerRung := len(cfg.Targets) * len(Algorithms)
+
+	errs := make([]error, len(out.Cells))
+	Engine{}.ForEach(len(out.Cells), func(i int) {
+		cell := &out.Cells[i]
+		runner, stream, err := s.newFaultCell(cell.Algorithm, cell.Target, cfg.Tiers)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		cellCfg := streamCfg
+		plan := plans[i/cellsPerRung]
+		// Preemption requires the retry queue; eviction only engages when
+		// the rung has a plan to displace anyone.
+		cellCfg.Faults = sim.StreamFaults{Plan: plan, Evict: plan != nil, Retry: true, Preempt: true}
+		cell.Result, errs[i] = runner.RunStream(stream, cellCfg)
+	})
+	for i, err := range errs {
+		if err != nil {
+			cell := out.Cells[i]
+			return nil, fmt.Errorf("%s at rung %s target %.0f%%: %w", cell.Algorithm, cell.Rung.Label, cell.Target*100, err)
+		}
+	}
+	return out, nil
+}
+
+// worstTierWindow returns the minimum per-window acceptance of a tier
+// over the complete windows (100 when the tier saw no windowed arrivals).
+func worstTierWindow(windows []sim.WindowStats, tier int) float64 {
+	min := 100.0
+	for _, w := range windows {
+		if w.TierArrivals[tier] == 0 {
+			continue
+		}
+		if a := w.TierAcceptancePct(tier); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// Render draws the SLO ladder as one table per (rung, target): per-tier
+// acceptance with tier 0 graded against SLOTargetPct, preemption volume,
+// and tier 0's worst complete window. Per-tier decision latency follows
+// on lines prefixed "wall " — they are wall-clock observations, the only
+// non-deterministic part of the report, so determinism checks can strip
+// them with a one-word filter.
+func (o *SLO) Render() string {
+	var b strings.Builder
+	var w [workload.NumTiers]float64
+	copy(w[:], o.Mix.Weights[:])
+	fmt.Fprintf(&b, "SLO ladder: priority mix %.0f/%.0f/%.0f%% (tier 0 highest) × fault rung × utilization, %d racks, %d tu per cell\n",
+		w[0]*100, w[1]*100, w[2]*100, o.Setup.Topology.Racks, o.Duration)
+	b.WriteString("(evict+retry+preempt on everywhere; preemption displaces strictly-lower-tier VMs when a higher-tier arrival\n")
+	fmt.Fprintf(&b, " fails both placement tiers; t0 graded against a %.1f%% acceptance SLO; worst-win is tier 0's worst complete window)\n", SLOTargetPct)
+	for i, cell := range o.Cells {
+		if cell.Algorithm == Algorithms[0] {
+			if i > 0 {
+				b.WriteString("\n")
+			}
+			if cell.Rung.MTBF == 0 {
+				fmt.Fprintf(&b, "rung %-6s (no faults) · target %.0f%%\n", cell.Rung.Label, cell.Target*100)
+			} else {
+				fmt.Fprintf(&b, "rung %-6s (box MTBF %d, MTTR %d) · target %.0f%%\n",
+					cell.Rung.Label, cell.Rung.MTBF, cell.Rung.MTTR, cell.Target*100)
+			}
+			fmt.Fprintf(&b, "  %-8s %8s %8s %8s %5s %9s %9s %9s %11s\n",
+				"alg", "t0-acc%", "t1-acc%", "t2-acc%", "slo", "preempted", "recovered", "lost", "t0worst-win")
+		}
+		r := cell.Result
+		verdict := "MISS"
+		t0 := tierAcceptPct(&r.Tiers[0])
+		if t0 >= SLOTargetPct {
+			verdict = "meet"
+		}
+		fmt.Fprintf(&b, "  %-8s %8.3f %8.3f %8.3f %5s %9d %9d %9d %11.1f\n",
+			cell.Algorithm, t0, tierAcceptPct(&r.Tiers[1]), tierAcceptPct(&r.Tiers[2]),
+			verdict, r.Preempted, r.PreemptRecovered, r.PreemptLost,
+			worstTierWindow(r.Windows, 0))
+		for t := range r.Tiers {
+			ts := &r.Tiers[t]
+			if ts.LatencySamples == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "wall   %s t%d decision p50/p95/p99 %s/%s/%s (%d samples)\n",
+				cell.Algorithm, t, shortDur(ts.LatencyP50), shortDur(ts.LatencyP95), shortDur(ts.LatencyP99), ts.LatencySamples)
+		}
+	}
+	return b.String()
+}
+
+// tierAcceptPct is a tier's measured acceptance percentage, 100 when the
+// tier saw no measured arrivals.
+func tierAcceptPct(ts *sim.TierStats) float64 {
+	if ts.Arrivals == 0 {
+		return 100
+	}
+	return float64(ts.Accepted) / float64(ts.Arrivals) * 100
+}

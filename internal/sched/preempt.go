@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"risa/internal/network"
+	"risa/internal/topology"
+	"risa/internal/units"
+)
+
+// PreemptScratch is the pooled victim-selection workspace of the
+// preemption transaction (core.Preempt). One preemption attempt gathers
+// candidate victims, filters and cost-sorts them, then releases a growing
+// prefix while recording each victim's exact holdings so a failed attempt
+// can restore every victim bit-for-bit. All of that state lives here in
+// reusable buffers, so the preempt decision path — like Schedule itself —
+// touches no allocator once the buffers reach their high-water size
+// (BenchmarkScheduleOnePreempt pins this at 0 allocs/op).
+//
+// A PreemptScratch follows the Scratch ownership rules: it belongs to one
+// driver (the simulator's stream loop), is valid only between Reset and
+// the end of the attempt, and is not safe for concurrent use.
+type PreemptScratch struct {
+	cands []*Assignment
+	refs  []int
+	costs []int64
+	holds []victimHold
+
+	sorter victimSorter
+}
+
+// victimHold is the exact holdings of one released victim: enough to
+// re-carve its placements (RestorePlacement) and flows (RestoreFlow)
+// should the preemption attempt fail. Buffers are pooled per slot.
+type victimHold struct {
+	boxes  [units.NumResources]*topology.Box
+	shares [units.NumResources][]topology.BrickShare
+	flows  [2]flowHold
+}
+
+// flowHold records one optical flow's reservation for exact replay.
+type flowHold struct {
+	present   bool
+	bw        units.Bandwidth
+	interRack bool
+	interPod  bool
+	refs      []network.LinkRef
+}
+
+// Reset empties the scratch for a new preemption attempt, keeping every
+// buffer's capacity.
+func (p *PreemptScratch) Reset() {
+	for i := range p.cands {
+		p.cands[i] = nil
+	}
+	p.cands = p.cands[:0]
+	p.refs = p.refs[:0]
+	p.costs = p.costs[:0]
+	p.holds = p.holds[:0]
+}
+
+// Add registers one candidate victim. ref is an opaque caller-side index
+// (the simulator passes the victim's event-heap slot) handed back via Ref
+// for the consumed prefix after a successful preemption.
+func (p *PreemptScratch) Add(a *Assignment, ref int) {
+	var cost int64
+	for _, amt := range a.VM.Req {
+		cost += int64(amt)
+	}
+	p.cands = append(p.cands, a)
+	p.refs = append(p.refs, ref)
+	p.costs = append(p.costs, cost)
+	if n := len(p.cands); n <= cap(p.holds) {
+		p.holds = p.holds[:n] // reuse the slot's pooled buffers
+	} else {
+		p.holds = append(p.holds, victimHold{})
+	}
+}
+
+// Len returns the current number of candidates.
+func (p *PreemptScratch) Len() int { return len(p.cands) }
+
+// Victim returns candidate i (in post-sort order).
+func (p *PreemptScratch) Victim(i int) *Assignment { return p.cands[i] }
+
+// Ref returns the caller-side ref of candidate i (in post-sort order).
+func (p *PreemptScratch) Ref(i int) int { return p.refs[i] }
+
+// FilterEligible drops every candidate an arrival of the given tier may
+// not preempt: victims of an equal or higher priority (tier <= the
+// arrival's — tier 0 is highest, so only strictly larger tier numbers are
+// preemptible), victims on failed hardware, and victims with a flow over
+// a failed link. The tier rule is the TierOrderRespected conformance
+// property enforced at the transaction itself, not just at call sites;
+// the hardware rules are restore safety — RestorePlacement/RestoreFlow
+// reject failed boxes and links, and a victim on failed hardware frees no
+// usable capacity anyway (its holdings are pending eviction, not supply).
+func (p *PreemptScratch) FilterEligible(tier int) {
+	w := 0
+	for i, a := range p.cands {
+		if a.VM.Tier <= tier || a.OnFailedHardware() ||
+			flowOnFailedLink(a.CPURAMFlow) || flowOnFailedLink(a.RAMSTOFlow) {
+			continue
+		}
+		p.cands[w], p.refs[w], p.costs[w] = a, p.refs[i], p.costs[i]
+		w++
+	}
+	for i := w; i < len(p.cands); i++ {
+		p.cands[i] = nil
+	}
+	p.cands = p.cands[:w]
+	p.refs = p.refs[:w]
+	p.costs = p.costs[:w]
+	p.holds = p.holds[:w]
+}
+
+// SortByCost orders candidates cheapest-first by freed capacity (the sum
+// of the victim's request vector), ties broken by VM id ascending — a
+// total order, so victim selection is deterministic.
+func (p *PreemptScratch) SortByCost() {
+	p.sorter.s = p
+	sort.Sort(&p.sorter)
+	p.sorter.s = nil
+}
+
+// HoldAndRelease captures candidate i's exact holdings into its pooled
+// hold slot and releases them via ReleaseVMKeep: the capacity joins the
+// free pool for the preemptor's next placement attempt while the cleared
+// record stays with its owner (the simulator's departure event), ready
+// for either Restore or final release.
+func (p *PreemptScratch) HoldAndRelease(st *State, i int) {
+	a := p.cands[i]
+	h := &p.holds[i]
+	for _, r := range units.Resources() {
+		pl := placementOf(a, r)
+		h.boxes[r] = pl.Box
+		h.shares[r] = append(h.shares[r][:0], pl.Shares...)
+	}
+	holdFlow(st, &h.flows[0], a.CPURAMFlow)
+	holdFlow(st, &h.flows[1], a.RAMSTOFlow)
+	st.ReleaseVMKeep(a)
+}
+
+// Restore re-carves candidate i's held placements and flows back into its
+// kept record, exactly as they were before HoldAndRelease. Between the
+// release and this call nothing else may mutate the state (the preemption
+// transaction runs inside one simulator event), so the freed capacity is
+// still free and replay cannot fail; an error here is a program bug and
+// panics.
+func (p *PreemptScratch) Restore(st *State, i int) {
+	a := p.cands[i]
+	h := &p.holds[i]
+	for _, r := range units.Resources() {
+		if h.boxes[r] == nil {
+			continue
+		}
+		pl, err := st.Cluster.RestorePlacement(h.boxes[r], h.shares[r])
+		if err != nil {
+			panic(fmt.Sprintf("sched: preempt restore: %v", err))
+		}
+		dst := placementOf(a, r)
+		dst.Box, dst.Total = pl.Box, pl.Total
+		dst.Shares = append(dst.Shares[:0], pl.Shares...)
+	}
+	a.CPURAMFlow = restoreFlow(st, &h.flows[0])
+	a.RAMSTOFlow = restoreFlow(st, &h.flows[1])
+}
+
+// placementOf maps a resource to its placement field on the assignment.
+func placementOf(a *Assignment, r units.Resource) *topology.Placement {
+	switch r {
+	case units.CPU:
+		return &a.CPU
+	case units.RAM:
+		return &a.RAM
+	default:
+		return &a.STO
+	}
+}
+
+// holdFlow records one flow's reservation (bandwidth, link path, span
+// flags) into a pooled flowHold.
+func holdFlow(st *State, h *flowHold, fl *network.Flow) {
+	h.refs = h.refs[:0]
+	h.present = fl != nil
+	if fl == nil {
+		return
+	}
+	h.bw = fl.BW()
+	h.interRack, h.interPod = fl.InterRack(), fl.InterPod()
+	for _, l := range fl.Links() {
+		h.refs = append(h.refs, st.Fabric.Ref(l))
+	}
+}
+
+// restoreFlow replays one held flow reservation; see Restore on why
+// failure panics.
+func restoreFlow(st *State, h *flowHold) *network.Flow {
+	if !h.present {
+		return nil
+	}
+	fl, err := st.Fabric.RestoreFlow(h.bw, h.refs, h.interRack, h.interPod)
+	if err != nil {
+		panic(fmt.Sprintf("sched: preempt restore: %v", err))
+	}
+	return fl
+}
+
+// flowOnFailedLink reports whether any link carrying the flow is failed.
+func flowOnFailedLink(fl *network.Flow) bool {
+	if fl == nil {
+		return false
+	}
+	for _, l := range fl.Links() {
+		if l.Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// victimSorter is the reusable sort.Interface view SortByCost sorts
+// through, keeping cands/refs/costs parallel.
+type victimSorter struct {
+	s *PreemptScratch
+}
+
+// Len implements sort.Interface.
+func (v *victimSorter) Len() int { return len(v.s.cands) }
+
+// Less implements sort.Interface: ascending cost, then VM id.
+func (v *victimSorter) Less(i, j int) bool {
+	if v.s.costs[i] != v.s.costs[j] {
+		return v.s.costs[i] < v.s.costs[j]
+	}
+	return v.s.cands[i].VM.ID < v.s.cands[j].VM.ID
+}
+
+// Swap implements sort.Interface.
+func (v *victimSorter) Swap(i, j int) {
+	s := v.s
+	s.cands[i], s.cands[j] = s.cands[j], s.cands[i]
+	s.refs[i], s.refs[j] = s.refs[j], s.refs[i]
+	s.costs[i], s.costs[j] = s.costs[j], s.costs[i]
+}

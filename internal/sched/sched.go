@@ -37,6 +37,7 @@ type State struct {
 	Fabric  *network.Fabric
 
 	freeAssignments []*Assignment
+	allocated       int
 }
 
 // NewState builds a fresh datacenter from the two configurations.
@@ -226,6 +227,7 @@ func (s *State) place(vm workload.VM, boxes BoxTriple, r units.Resource, dst *to
 func (s *State) getAssignment(vm workload.VM) *Assignment {
 	n := len(s.freeAssignments)
 	if n == 0 {
+		s.allocated++
 		return &Assignment{VM: vm}
 	}
 	a := s.freeAssignments[n-1]
@@ -247,6 +249,14 @@ func (s *State) putAssignment(a *Assignment) {
 	a.pooled = true
 	s.freeAssignments = append(s.freeAssignments, a)
 }
+
+// AllocatedAssignments returns how many assignment records this State has
+// ever allocated (pool misses). A record leak cannot be detected from the
+// pool's size — a leaked record is simply replaced by a fresh allocation
+// that does return — but it shows up here: replaying an identical warm
+// script must not grow this counter (the PreemptionNeverLeaks conformance
+// property).
+func (s *State) AllocatedAssignments() int { return s.allocated }
 
 // clearPlacement empties a placement while keeping its share buffer's
 // capacity for reuse.

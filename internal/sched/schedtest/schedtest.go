@@ -37,6 +37,9 @@ func Conformance(t *testing.T, name string, mk Factory) {
 	t.Run(name+"/HealedBoxReusable", func(t *testing.T) { healedBoxReusable(t, mk) })
 	t.Run(name+"/FaultInterleavedHygiene", func(t *testing.T) { faultInterleavedHygiene(t, mk) })
 	t.Run(name+"/SnapshotHygiene", func(t *testing.T) { snapshotHygiene(t, mk) })
+	t.Run(name+"/TierOrderRespected", func(t *testing.T) { tierOrderRespected(t, mk) })
+	t.Run(name+"/PreemptionNeverLeaks", func(t *testing.T) { preemptionNeverLeaks(t, mk) })
+	t.Run(name+"/PreemptionHygiene", func(t *testing.T) { preemptionHygiene(t, mk) })
 }
 
 func newState(t *testing.T) *sched.State {

@@ -30,7 +30,13 @@ type Scratch struct {
 	keys    []units.Bandwidth
 	cursors [][units.NumResources]int
 	sorter  boxSorter
+	preempt PreemptScratch
 }
+
+// Preemption returns the scratch's pooled victim-selection workspace for
+// the preemption transaction (see PreemptScratch). The same ownership
+// rules apply: one driver, no concurrent use.
+func (s *Scratch) Preemption() *PreemptScratch { return &s.preempt }
 
 // Mask returns the scratch rack mask for resource r, resized to n racks
 // and cleared. The mask stays valid until the next Mask call for the same

@@ -221,17 +221,22 @@ func (sr *streamRun) loopAgents(pool *agentPool) error {
 					res.Enqueued++
 				} else {
 					res.TotalDropped++
+					res.Tiers[it.vm.Tier].TotalDropped++
 					if it.measured {
 						res.Dropped++
 						wind.cur.Dropped++
+						res.Tiers[it.vm.Tier].Dropped++
 					}
 				}
 			} else {
 				res.TotalAccepted++
+				res.Tiers[it.vm.Tier].TotalAccepted++
 				sr.resident++
 				if it.measured {
 					res.Accepted++
 					wind.cur.Accepted++
+					res.Tiers[it.vm.Tier].Accepted++
+					wind.cur.TierAccepted[it.vm.Tier]++
 				}
 				dep := it.t + it.vm.Lifetime
 				if dep < tB {
@@ -272,9 +277,12 @@ func (sr *streamRun) loopAgents(pool *agentPool) error {
 			if err := e.vm.Validate(); err != nil {
 				return err
 			}
+			res.Tiers[e.vm.Tier].TotalArrivals++
 			if measured {
 				res.Arrivals++
 				wind.cur.Arrivals++
+				res.Tiers[e.vm.Tier].Arrivals++
+				wind.cur.TierArrivals[e.vm.Tier]++
 			}
 			sr.admitSeq++
 			if r.retry && sr.wHead < len(sr.waiting) {

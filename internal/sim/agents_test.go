@@ -40,6 +40,9 @@ func stripWall(ss *SteadyState) *SteadyState {
 	c.LatencyP50, c.LatencyP95, c.LatencyP99, c.LatencySamples = 0, 0, 0, 0
 	c.ReplaceP50, c.ReplaceP95, c.ReplaceP99, c.ReplaceSamples = 0, 0, 0, 0
 	c.SchedulingTime, c.WallTime = 0, 0
+	for t := range c.Tiers {
+		c.Tiers[t].LatencyP50, c.Tiers[t].LatencyP95, c.Tiers[t].LatencyP99, c.Tiers[t].LatencySamples = 0, 0, 0, 0
+	}
 	return &c
 }
 
@@ -258,5 +261,88 @@ func TestAdmitKeepsArrivalOrder(t *testing.T) {
 	}
 	if sr.waiting[0].vm.ID != 0 || sr.waiting[1].vm.ID != 2 {
 		t.Error("admit disturbed the consumed prefix")
+	}
+}
+
+// TestAdmitKeepsArrivalOrderPerTier pins the tier-ordered retry queue:
+// priority tier orders before admission sequence (tier 0 drains first
+// regardless of when it queued), while equal-tier entries keep the
+// original arrival-sequence discipline — so an all-tier-0 workload
+// orders exactly as the untiered queue did.
+func TestAdmitKeepsArrivalOrderPerTier(t *testing.T) {
+	sr := &streamRun{}
+	vm := func(id, tier int) workload.VM { return workload.VM{ID: id, Tier: tier} }
+	for _, q := range []queuedVM{
+		{vm: vm(0, 2), seq: 1},
+		{vm: vm(1, 0), seq: 5}, // higher tier, later seq: drains first anyway
+		{vm: vm(2, 1), seq: 3},
+		{vm: vm(3, 0), seq: 2}, // tier 0, earlier seq: ahead of the other tier-0
+		{vm: vm(4, 2), seq: 0}, // tier 2, earliest seq: ahead of the first tier-2
+		{vm: vm(5, 1), seq: 9},
+	} {
+		sr.admit(q)
+	}
+	want := []int{3, 1, 2, 5, 4, 0}
+	for i, q := range sr.waiting {
+		if q.vm.ID != want[i] {
+			ids := make([]int, len(sr.waiting))
+			for j, w := range sr.waiting {
+				ids[j] = w.vm.ID
+			}
+			t.Fatalf("queue order %v, want %v", ids, want)
+		}
+	}
+	// The consumed prefix stays untouched even for a tier-0 admit that
+	// would otherwise sort to the very front.
+	sr.wHead = 2
+	sr.admit(queuedVM{vm: vm(6, 0), seq: 0})
+	if sr.waiting[2].vm.ID != 6 {
+		t.Errorf("tier-0 admit landed at %d, want the wHead boundary", sr.waiting[2].vm.ID)
+	}
+	if sr.waiting[0].vm.ID != 3 || sr.waiting[1].vm.ID != 1 {
+		t.Error("admit disturbed the consumed prefix")
+	}
+}
+
+// TestTierTwoDrainsAfterPressure is the starvation guard on the
+// tier-ordered queue: tier-2 entries queued behind a wall of tier-0
+// residents must all place once the pressure departs — lowest priority
+// means drained last, never never.
+func TestTierTwoDrainsAfterPressure(t *testing.T) {
+	tr := &workload.Trace{Name: "tiered-pressure"}
+	id := 0
+	// 96 × 64 CPU units fill the 6-rack fixture's 6144 exactly.
+	for i := 0; i < 96; i++ {
+		tr.VMs = append(tr.VMs, workload.VM{ID: id, Arrival: int64(i), Lifetime: 1000, Tier: 0, Req: units.Vec(64, 64, 32)})
+		id++
+	}
+	// Tier-2 arrivals against the full cluster: nothing to preempt below
+	// them, so they queue and wait.
+	for i := 0; i < 20; i++ {
+		tr.VMs = append(tr.VMs, workload.VM{ID: id, Arrival: int64(100 + i), Lifetime: 1000, Tier: 2, Req: units.Vec(64, 64, 32)})
+		id++
+	}
+	// A late sentinel arrival keeps the event loop running past the
+	// tier-0 wall's departures (a finite trace otherwise ends the run at
+	// its last arrival, stranding the queue).
+	tr.VMs = append(tr.VMs, workload.VM{ID: id, Arrival: 2500, Lifetime: 100, Tier: 2, Req: units.Vec(1, 1, 32)})
+	_, r := eqRunner(t, "RISA", Config{})
+	cfg := StreamConfig{Workload: StreamWorkload{Duration: 3000}, Windows: StreamWindows{Window: 500}}
+	cfg.Faults = StreamFaults{Retry: true, Preempt: true}
+	ss, err := r.RunStream(workload.NewTraceStream(tr), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Enqueued < 20 {
+		t.Fatalf("fixture queued only %d arrivals, want at least the 20 tier-2", ss.Enqueued)
+	}
+	if ss.Preempted != 0 {
+		t.Errorf("tier-2 arrivals preempted %d victims; nothing sits below tier 2", ss.Preempted)
+	}
+	if got := ss.Tiers[2].TotalAccepted; got != 21 {
+		t.Errorf("tier-2 accepted %d of 21 after the tier-0 wall departed", got)
+	}
+	if got := ss.Tiers[0].TotalAccepted; got != 96 {
+		t.Errorf("tier-0 accepted %d of 96", got)
 	}
 }

@@ -262,6 +262,9 @@ func TestRunStreamFaultDeterminism(t *testing.T) {
 		res.SchedulingTime, res.WallTime = 0, 0
 		res.LatencyP50, res.LatencyP95, res.LatencyP99 = 0, 0, 0
 		res.ReplaceP50, res.ReplaceP95, res.ReplaceP99 = 0, 0, 0
+		for t := range res.Tiers {
+			res.Tiers[t].LatencyP50, res.Tiers[t].LatencyP95, res.Tiers[t].LatencyP99 = 0, 0, 0
+		}
 		return res
 	}
 	a, b := run(), run()

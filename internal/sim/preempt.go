@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"errors"
+	"time"
+
+	"risa/internal/core"
+	"risa/internal/sched"
+	"risa/internal/workload"
+)
+
+// errPreemptFailed reports that no admissible victim set could place the
+// arrival; a package-level sentinel so failed attempts stay off the
+// allocator.
+var errPreemptFailed = errors.New("sim: preemption found no admissible victim set")
+
+// tryPreempt attempts to admit an arrival that just failed placement by
+// displacing strictly-lower-tier resident VMs. Candidates are gathered
+// from the event queue — every pending departure with a live assignment
+// is a resident VM; the queue's array order is deterministic for a given
+// event history, and core.Preempt's total cost order makes the victim
+// set independent of it anyway. The transaction picks a cheapest-first
+// minimal prefix or restores everything (see core.Preempt).
+//
+// On success the consumed victims' departure events are neutralized into
+// ghosts exactly like lost displacements, and the victims re-enter the
+// retry queue as preempted entries: their wait measured from the
+// eviction, their lifetime restarting when re-placed, draining behind
+// every equal-or-higher-priority entry under the queue's tier order. The
+// whole attempt is billed to SchedulingTime.
+func (sr *streamRun) tryPreempt(vm workload.VM, now int64, measured bool) (*sched.Assignment, error) {
+	r, res, wind := sr.r, sr.res, sr.wind
+	ps := r.scratch.Preemption()
+	ps.Reset()
+	start := time.Now()
+	for i := range sr.h.s {
+		e := &sr.h.s[i]
+		if e.kind != departure || e.a == nil || e.t <= now || e.vm.Tier <= vm.Tier {
+			continue
+		}
+		ps.Add(e.a, i)
+	}
+	a, consumed := core.Preempt(r.st, r.sch, ps, vm)
+	res.SchedulingTime += time.Since(start)
+	if a == nil {
+		return nil, errPreemptFailed
+	}
+	for k := 0; k < consumed; k++ {
+		e := &sr.h.s[ps.Ref(k)]
+		victim := e.vm
+		r.st.ReleaseVM(e.a) // holdings already released: pools the shell
+		e.a = nil           // ghost the departure, like a lost displacement
+		sr.resident--
+		res.Preempted++
+		res.Tiers[victim.Tier].Preempted++
+		if measured {
+			wind.cur.TierPreempted[victim.Tier]++
+		}
+		victim.Arrival = now
+		sr.admitSeq++
+		sr.admit(queuedVM{vm: victim, preempted: true, seq: sr.admitSeq})
+		res.Enqueued++
+	}
+	return a, nil
+}

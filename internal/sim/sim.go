@@ -86,6 +86,10 @@ type eventQueue = heap4[event]
 type queuedVM struct {
 	vm        workload.VM
 	displaced bool
+	// preempted marks a VM evicted by a higher-priority arrival
+	// (core.Preempt): like displaced, it was already accepted once, so
+	// re-placing it is a PreemptRecovered, losing it a PreemptLost.
+	preempted bool
 	// seq is the admission sequence (stream runs only): a monotone
 	// counter stamped once per arrival processed and once per eviction,
 	// so a conflict loser from the agent pool re-queues under its
@@ -218,7 +222,9 @@ type Runner struct {
 	retry       bool
 	plan        *faults.Plan
 	evict       bool
-	downCount   []int // per-box overlapping-outage refcounts (faults.go)
+	preempt     bool          // stream runs only (StreamFaults.Preempt)
+	scratch     sched.Scratch // victim-selection workspace (preempt.go)
+	downCount   []int         // per-box overlapping-outage refcounts (faults.go)
 }
 
 // NewRunner builds a Runner. The scheduler must be bound to st.

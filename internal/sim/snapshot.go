@@ -112,6 +112,9 @@ type EventState struct {
 type QueuedVMState struct {
 	VM        workload.VM
 	Displaced bool
+	// Preempted marks a preemption victim awaiting re-placement (false
+	// in snapshots from before preemption existed).
+	Preempted bool
 	Seq       int
 }
 
@@ -181,6 +184,10 @@ type Snapshot struct {
 	Counters SteadyState
 	Windower WindowerState
 	Lat, Rep ReservoirState
+	// TierLat holds the per-tier direct-decision latency reservoirs
+	// (zero-valued in snapshots from before priority tiers existed, which
+	// resume with empty degenerate reservoirs).
+	TierLat [workload.NumTiers]ReservoirState
 
 	// Stream is the workload stream's replay position, captured after
 	// drawing PendingVM: the stream's next yield is PendingVM's
@@ -216,6 +223,9 @@ func (s *Snapshot) Clone() *Snapshot {
 	c.Windower.Windows = append([]WindowStats(nil), s.Windower.Windows...)
 	c.Lat.Vals = append([]float64(nil), s.Lat.Vals...)
 	c.Rep.Vals = append([]float64(nil), s.Rep.Vals...)
+	for t := range c.TierLat {
+		c.TierLat[t].Vals = append([]float64(nil), s.TierLat[t].Vals...)
+	}
 	return &c
 }
 
@@ -441,7 +451,7 @@ func (sr *streamRun) capture() (*Snapshot, error) {
 	snap.State = *state
 	for i := sr.wHead; i < len(sr.waiting); i++ {
 		q := sr.waiting[i]
-		snap.Waiting = append(snap.Waiting, QueuedVMState{VM: q.vm, Displaced: q.displaced, Seq: q.seq})
+		snap.Waiting = append(snap.Waiting, QueuedVMState{VM: q.vm, Displaced: q.displaced, Preempted: q.preempted, Seq: q.seq})
 	}
 	if sr.r.plan != nil {
 		snap.PlanLen = len(sr.r.plan.Events)
@@ -452,6 +462,9 @@ func (sr *streamRun) capture() (*Snapshot, error) {
 	snap.Windower = sr.wind.state()
 	snap.Lat = sr.lat.state()
 	snap.Rep = sr.rep.state()
+	for t := range sr.tlat {
+		snap.TierLat[t] = sr.tlat[t].state()
+	}
 	snap.Stream = snapper.StreamState()
 	snap.PendingVM = sr.pending
 	snap.More = sr.more
@@ -558,6 +571,9 @@ func (r *Runner) ResumeStream(s workload.Stream, snap *Snapshot, cfg StreamConfi
 		snapAt:   cfg.Snapshot.At,
 		onSnap:   cfg.Snapshot.OnSnapshot,
 	}
+	for t := range sr.tlat {
+		sr.tlat[t] = restoreReservoir(snap.TierLat[t])
+	}
 	// Rebuild the heap's backing array verbatim: the snapshot recorded a
 	// valid heap in array order, so assigning it preserves both the heap
 	// property and the eviction scan order.
@@ -573,7 +589,7 @@ func (r *Runner) ResumeStream(s workload.Stream, snap *Snapshot, cfg StreamConfi
 		sr.h.s[i] = e
 	}
 	for _, q := range snap.Waiting {
-		sr.waiting = append(sr.waiting, queuedVM{vm: q.VM, displaced: q.Displaced, seq: q.Seq})
+		sr.waiting = append(sr.waiting, queuedVM{vm: q.VM, displaced: q.Displaced, preempted: q.Preempted, seq: q.Seq})
 	}
 	r.resetFaultCounts()
 	if snap.PlanLen >= 0 {

@@ -31,7 +31,6 @@ func eqScheduler(t testing.TB, name string, st *sched.State) sched.Scheduler {
 		t.Fatal(err)
 	}
 	return s
-	return nil
 }
 
 var eqAlgorithms = []string{"NULB", "NALB", "RISA", "RISA-BF"}
@@ -43,12 +42,35 @@ var eqAlgorithms = []string{"NULB", "NALB", "RISA", "RISA-BF"}
 // stream — the snapshot contract repositions it by replay.
 func eqStream(t testing.TB) workload.Stream {
 	t.Helper()
+	cfg := eqStreamConfig()
+	s, err := cfg.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func eqStreamConfig() workload.SyntheticConfig {
 	cfg := workload.DefaultSyntheticConfig()
 	cfg.LifetimeStep = 0
 	// 1536 units / (6300 tu × 16.5 mean req) ≈ 0.0148 VMs/tu at full
 	// occupancy; target 85% of it.
 	cfg.MeanInterarrival = 1 / (0.85 * 1536 / (6300 * 16.5))
 	cfg.Controller = &workload.UtilizationController{Target: 0.85}
+	return cfg
+}
+
+// tieredStream is eqStream with the default priority mix stamped on
+// arrivals and the cluster overdriven to ~2.5× the binding resource
+// (no controller), so higher-tier arrivals keep landing on a full
+// datacenter and the preemption path actually fires — a few hundred
+// preemptions per cell, pinned non-vacuous by the equivalence test.
+func tieredStream(t testing.TB) workload.Stream {
+	t.Helper()
+	cfg := eqStreamConfig()
+	cfg.Tiers = workload.DefaultTierMix()
+	cfg.MeanInterarrival = 1 / (2.5 * 1536 / (6300 * 16.5))
+	cfg.Controller = nil
 	s, err := cfg.NewStream()
 	if err != nil {
 		t.Fatal(err)
@@ -74,8 +96,9 @@ func eqPlan(t testing.TB, horizon int64) *faults.Plan {
 // eqCase is one cell of the equivalence matrix.
 type eqCase struct {
 	name   string
-	sim    func(t testing.TB) Config // runner config (fault plan, evict, retry)
-	stream StreamConfig              // stop bounds shared by fresh/warm/resume
+	sim    func(t testing.TB) Config       // runner config (fault plan, evict, retry)
+	stream func(t testing.TB) StreamConfig // stop bounds shared by fresh/warm/resume
+	src    func(t testing.TB) workload.Stream
 }
 
 func eqCases() []eqCase {
@@ -85,19 +108,38 @@ func eqCases() []eqCase {
 		{
 			name:   "churn",
 			sim:    func(testing.TB) Config { return Config{} },
-			stream: churn,
+			stream: func(testing.TB) StreamConfig { return churn },
+			src:    eqStream,
 		},
 		{
 			name:   "churn-retry",
 			sim:    func(testing.TB) Config { return Config{RetryDropped: true} },
-			stream: churn,
+			stream: func(testing.TB) StreamConfig { return churn },
+			src:    eqStream,
 		},
 		{
 			name: "faults-evict-retry",
 			sim: func(t testing.TB) Config {
 				return Config{Faults: eqPlan(t, 160000), Evict: true, RetryDropped: true}
 			},
-			stream: faulty,
+			stream: func(testing.TB) StreamConfig { return faulty },
+			src:    eqStream,
+		},
+		{
+			// The whole tiered fault surface at once, configured on the
+			// stream plane (Config{} keeps the runner plane empty — the
+			// two planes reject being mixed): priority mix on arrivals,
+			// fault plan, eviction, retry queue and preemption. The
+			// snapshot must carry tier counters, per-tier reservoirs and
+			// preempted retry entries across the warm/resume boundary.
+			name: "tiered-preempt",
+			sim:  func(testing.TB) Config { return Config{} },
+			stream: func(t testing.TB) StreamConfig {
+				cfg := faulty
+				cfg.Faults = StreamFaults{Plan: eqPlan(t, 160000), Evict: true, Retry: true, Preempt: true}
+				return cfg
+			},
+			src: tieredStream,
 		},
 	}
 }
@@ -126,6 +168,9 @@ func deterministic(ss *SteadyState) SteadyState {
 	c.LatencyP50, c.LatencyP95, c.LatencyP99 = 0, 0, 0
 	c.ReplaceP50, c.ReplaceP95, c.ReplaceP99 = 0, 0, 0
 	c.SchedulingTime, c.WallTime = 0, 0
+	for t := range c.Tiers {
+		c.Tiers[t].LatencyP50, c.Tiers[t].LatencyP95, c.Tiers[t].LatencyP99 = 0, 0, 0
+	}
 	return c
 }
 
@@ -146,15 +191,15 @@ func TestSnapshotEquivalence(t *testing.T) {
 		for _, alg := range eqAlgorithms {
 			t.Run(tc.name+"/"+alg, func(t *testing.T) {
 				_, fr := eqRunner(t, alg, tc.sim(t))
-				fresh, err := fr.RunStream(eqStream(t), tc.stream)
+				fresh, err := fr.RunStream(tc.src(t), tc.stream(t))
 				if err != nil {
 					t.Fatal(err)
 				}
 
-				warmCfg := tc.stream
+				warmCfg := tc.stream(t)
 				warmCfg.Snapshot.At = snapAt
 				_, wr := eqRunner(t, alg, tc.sim(t))
-				snap, err := wr.WarmStream(eqStream(t), warmCfg)
+				snap, err := wr.WarmStream(tc.src(t), warmCfg)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -163,13 +208,16 @@ func TestSnapshotEquivalence(t *testing.T) {
 				}
 
 				_, rr := eqRunner(t, alg, tc.sim(t))
-				resumed, err := rr.ResumeStream(eqStream(t), snap, tc.stream)
+				resumed, err := rr.ResumeStream(tc.src(t), snap, tc.stream(t))
 				if err != nil {
 					t.Fatal(err)
 				}
 				requireEqual(t, fresh, resumed)
 				if fresh.Windows == nil || len(fresh.Windows) < 4 {
 					t.Fatalf("fixture too small: only %d windows", len(fresh.Windows))
+				}
+				if tc.name == "tiered-preempt" && fresh.Preempted == 0 {
+					t.Error("tiered fixture exercised no preemption")
 				}
 			})
 		}
@@ -214,6 +262,9 @@ func TestSnapshotObservationPurity(t *testing.T) {
 		c := s.Clone()
 		c.Counters = deterministic(&c.Counters)
 		c.Lat.Vals, c.Rep.Vals = nil, nil
+		for t := range c.TierLat {
+			c.TierLat[t].Vals = nil
+		}
 		return c
 	}
 	if !reflect.DeepEqual(norm(mid), norm(snap)) {

@@ -63,6 +63,13 @@ type StreamFaults struct {
 	// Retry turns drop-on-failure into the FIFO wait queue (see
 	// Config.RetryDropped).
 	Retry bool
+	// Preempt lets a high-priority arrival that fails placement displace
+	// strictly-lower-tier victims via core.Preempt, the victims entering
+	// the retry queue (hence Preempt requires Retry). Serial stream runs
+	// only: agent mode is rejected (preemption mutates the event heap
+	// mid-decision), and Runner.Run's power accountant tracks flow
+	// pointers a preemption restore would invalidate.
+	Preempt bool
 }
 
 // StreamSnapshot arms warm-state capture (see snapshot.go).
@@ -132,6 +139,12 @@ func (c StreamConfig) Validate() error {
 	if c.Faults.Evict && c.Faults.Plan == nil {
 		return fmt.Errorf("sim: Faults.Evict requires Faults.Plan")
 	}
+	if c.Faults.Preempt && !c.Faults.Retry {
+		return fmt.Errorf("sim: Faults.Preempt requires Faults.Retry (victims re-enter through the retry queue)")
+	}
+	if c.Faults.Preempt && c.Concurrency.Agents > 1 {
+		return fmt.Errorf("sim: preemption (Faults.Preempt) is incompatible with agent mode (Agents=%d)", c.Concurrency.Agents)
+	}
 	if c.Snapshot.At < 0 {
 		return fmt.Errorf("sim: negative snapshot point %d", c.Snapshot.At)
 	}
@@ -166,10 +179,26 @@ type WindowStats struct {
 	// re-placements (attributed to the window the recovery happened in;
 	// see Config.Evict).
 	Displaced, Recovered int
+	// TierArrivals, TierAccepted and TierPreempted break the window's
+	// arrival, acceptance and preemption counts down by priority tier
+	// (all in tier 0 for untiered workloads). TierPreempted counts the
+	// window's evictions by the victim's tier.
+	TierArrivals  [workload.NumTiers]int
+	TierAccepted  [workload.NumTiers]int
+	TierPreempted [workload.NumTiers]int
 	// AvgUtil is the time-weighted compute utilization per resource over
 	// the window, in percent. Capacity hidden by an active failure counts
 	// as used — the denominator stays the nameplate capacity.
 	AvgUtil [units.NumResources]float64
+}
+
+// TierAcceptancePct returns the window's acceptance rate for one tier in
+// percent (100 for a tier with no arrivals in the window).
+func (w WindowStats) TierAcceptancePct(tier int) float64 {
+	if w.TierArrivals[tier] == 0 {
+		return 100
+	}
+	return float64(w.TierAccepted[tier]) / float64(w.TierArrivals[tier]) * 100
 }
 
 // AcceptancePct returns the window's acceptance rate in percent (100 for
@@ -179,6 +208,36 @@ func (w WindowStats) AcceptancePct() float64 {
 		return 100
 	}
 	return float64(w.Accepted) / float64(w.Arrivals) * 100
+}
+
+// TierStats is the per-priority-tier breakdown of one open-ended run:
+// arrival/outcome counters in both whole-run and measured (post-warmup)
+// form, preemption counters by victim tier, and the tier's own
+// direct-decision latency percentiles. Untiered workloads put everything
+// in tier 0.
+type TierStats struct {
+	// Whole-run counters (warmup included).
+	TotalArrivals, TotalAccepted, TotalDropped int
+	// Measured (post-warmup) counters.
+	Arrivals, Accepted, Dropped int
+	// Preempted counts this tier's VMs evicted by a higher-priority
+	// arrival (whole run); PreemptRecovered the subset later re-placed
+	// from the retry queue. A recovery never counts as a second
+	// acceptance.
+	Preempted, PreemptRecovered int
+	// Direct-decision latency percentiles over the measured phase,
+	// estimated from a per-tier reservoir of LatencySamples observations.
+	LatencyP50, LatencyP95, LatencyP99 time.Duration
+	LatencySamples                     int
+}
+
+// AcceptancePct returns the tier's measured acceptance rate in percent
+// (100 when the tier saw no measured arrivals).
+func (t TierStats) AcceptancePct() float64 {
+	if t.Arrivals == 0 {
+		return 100
+	}
+	return float64(t.Accepted) / float64(t.Arrivals) * 100
 }
 
 // SteadyState aggregates one open-ended run. The "measured" figures
@@ -234,6 +293,20 @@ type SteadyState struct {
 	Enqueued       int
 	RetrySucceeded int
 	MeanWait       float64
+
+	// Tiers is the per-priority-tier breakdown of the run (see
+	// TierStats); untiered workloads land entirely in tier 0.
+	Tiers [workload.NumTiers]TierStats
+
+	// Preemption counters (zero unless StreamFaults.Preempt): Preempted
+	// counts victims evicted to admit a higher-priority arrival,
+	// PreemptRecovered those later re-placed from the retry queue,
+	// PreemptLost those never re-placed (still waiting when the run
+	// stopped). At the end of a run Preempted == PreemptRecovered +
+	// PreemptLost.
+	Preempted        int
+	PreemptRecovered int
+	PreemptLost      int
 
 	// Agent-pool counters, zero on serial runs (see StreamConcurrency).
 	// AgentCommits counts placements committed straight from an
@@ -322,6 +395,7 @@ type streamRun struct {
 	res  *SteadyState
 	lat  *reservoir
 	rep  *reservoir
+	tlat [workload.NumTiers]*reservoir // per-tier direct-decision latency
 	wind *windower
 
 	h        eventQueue
@@ -331,7 +405,9 @@ type streamRun struct {
 
 	// Retry queue: FIFO behind a head cursor, so the backing array is
 	// reused once fully drained instead of reallocated per wave. Entries
-	// are kept in admission-sequence order (see admit); admitSeq is the
+	// are kept in tier-then-admission-sequence order (see admit and
+	// queueBefore): tier-0 retries drain first, and within a tier the
+	// original PR 7 admission-sequence guarantee holds. admitSeq is the
 	// monotone admission counter the sequence numbers come from.
 	waiting  []queuedVM
 	wHead    int
@@ -383,6 +459,11 @@ func (r *Runner) newStreamRun(s workload.Stream, cfg StreamConfig) (*streamRun, 
 		snapAt: cfg.Snapshot.At,
 		onSnap: cfg.Snapshot.OnSnapshot,
 	}
+	for t := range sr.tlat {
+		// Per-tier latency reservoirs, each with its own counted stream
+		// (seeds seed+2.. — lat and rep hold seed and seed+1).
+		sr.tlat[t] = newReservoir(size, seed+2+int64(t))
+	}
 	for _, inj := range r.injections {
 		sr.h.Push(event{t: inj.T, kind: inject, seq: sr.seq, do: inj.Do})
 		sr.seq++
@@ -411,7 +492,7 @@ func (r *Runner) newStreamRun(s workload.Stream, cfg StreamConfig) (*streamRun, 
 // through either Config (NewRunner) or StreamConfig — carrying it in
 // both at once is ambiguous and rejected.
 func (r *Runner) adoptStreamFaults(f StreamFaults) error {
-	if f.Plan == nil && !f.Evict && !f.Retry {
+	if f.Plan == nil && !f.Evict && !f.Retry && !f.Preempt {
 		return nil
 	}
 	if r.plan != nil || r.evict || r.retry {
@@ -426,24 +507,37 @@ func (r *Runner) adoptStreamFaults(f StreamFaults) error {
 	r.plan = f.Plan
 	r.evict = f.Evict
 	r.retry = f.Retry
+	r.preempt = f.Preempt
 	return nil
 }
 
-// admit inserts one entry into the retry queue in admission-sequence
-// order. Serial admissions are monotone, so the common path is a plain
-// append; an agent-round conflict loser re-queues under its original
-// arrival sequence and may have been overtaken by a displaced VM evicted
-// in the same round, in which case it is slotted back where its sequence
-// says — ordering never depends on which agent lost the commit race.
+// queueBefore is the retry queue's total order: priority tier first
+// (tier 0 drains before tier 1), admission sequence within a tier — so
+// the PR 7 original-arrival-sequence guarantee still holds between VMs of
+// equal tier, and an all-tier-0 workload orders exactly as before.
+func queueBefore(a, b queuedVM) bool {
+	if a.vm.Tier != b.vm.Tier {
+		return a.vm.Tier < b.vm.Tier
+	}
+	return a.seq < b.seq
+}
+
+// admit inserts one entry into the retry queue in tier-then-admission-
+// sequence order (queueBefore). Equal-tier serial admissions are
+// monotone, so the common path is a plain append; a higher-tier entry —
+// or an agent-round conflict loser re-queuing under its original arrival
+// sequence after being overtaken by a displaced VM evicted in the same
+// round — is slotted back where the order says, never depending on which
+// agent lost the commit race.
 func (sr *streamRun) admit(q queuedVM) {
 	n := len(sr.waiting)
-	if n == sr.wHead || sr.waiting[n-1].seq <= q.seq {
+	if n == sr.wHead || !queueBefore(q, sr.waiting[n-1]) {
 		sr.waiting = append(sr.waiting, q)
 		return
 	}
 	sr.waiting = append(sr.waiting, queuedVM{})
 	i := n
-	for i > sr.wHead && sr.waiting[i-1].seq > q.seq {
+	for i > sr.wHead && queueBefore(q, sr.waiting[i-1]) {
 		sr.waiting[i] = sr.waiting[i-1]
 		i--
 	}
@@ -463,7 +557,13 @@ func (sr *streamRun) utilNow() (perRes [units.NumResources]float64, binding floa
 	return
 }
 
-// drainQueue retries the waiting queue head-first at time now.
+// drainQueue retries the waiting queue head-first at time now. Under
+// preemption a blocked head gets one preemption attempt before it blocks
+// the rest, so a queued tier-0 VM exercises the same displacement right a
+// fresh tier-0 arrival would; victims join the queue behind every
+// equal-or-higher-priority entry (they are strictly lower tier than the
+// head), so the drain still terminates — preemption chains strictly
+// descend the tier order.
 func (sr *streamRun) drainQueue(now int64, measured bool) {
 	r, res, wind := sr.r, sr.res, sr.wind
 	for sr.wHead < len(sr.waiting) {
@@ -471,15 +571,19 @@ func (sr *streamRun) drainQueue(now int64, measured bool) {
 		start := time.Now()
 		a, err := r.sch.Schedule(q.vm)
 		res.SchedulingTime += time.Since(start)
+		if err != nil && r.preempt && q.vm.Tier < workload.NumTiers-1 {
+			a, err = sr.tryPreempt(q.vm, now, measured)
+		}
 		if err != nil {
-			return // FIFO: the head blocks the rest
+			return // the head blocks the rest
 		}
 		sr.waiting[sr.wHead] = queuedVM{}
 		sr.wHead++
 		res.RetrySucceeded++
 		sr.waitSum += float64(now - q.vm.Arrival)
 		sr.resident++
-		if q.displaced {
+		switch {
+		case q.displaced:
 			// A late recovery: the VM already counted as accepted at
 			// its original arrival, so only the displacement outcome
 			// moves.
@@ -487,11 +591,18 @@ func (sr *streamRun) drainQueue(now int64, measured bool) {
 			if measured {
 				wind.cur.Recovered++
 			}
-		} else {
+		case q.preempted:
+			// Same: a preemption victim re-placed, not a new acceptance.
+			res.PreemptRecovered++
+			res.Tiers[q.vm.Tier].PreemptRecovered++
+		default:
 			res.TotalAccepted++
+			res.Tiers[q.vm.Tier].TotalAccepted++
 			if measured {
 				res.Accepted++
+				res.Tiers[q.vm.Tier].Accepted++
 				wind.cur.Accepted++
+				wind.cur.TierAccepted[q.vm.Tier]++
 			}
 		}
 		sr.h.Push(event{t: now + q.vm.Lifetime, kind: departure, seq: sr.seq, vm: q.vm, a: a})
@@ -556,14 +667,18 @@ func (sr *streamRun) loop() error {
 		if err := e.vm.Validate(); err != nil {
 			return err
 		}
+		res.Tiers[e.vm.Tier].TotalArrivals++
 		if measured {
 			res.Arrivals++
 			wind.cur.Arrivals++
+			res.Tiers[e.vm.Tier].Arrivals++
+			wind.cur.TierArrivals[e.vm.Tier]++
 		}
 		sr.admitSeq++
 		if r.retry && sr.wHead < len(sr.waiting) {
-			// FIFO fairness: queued VMs go first; the arrival joins the
-			// tail and is not sampled as a direct decision.
+			// Queue fairness: waiting VMs of equal or higher priority go
+			// first; the arrival joins the queue at its tier-order slot
+			// and is not sampled as a direct decision.
 			sr.admit(queuedVM{vm: e.vm, seq: sr.admitSeq})
 			res.Enqueued++
 			sr.drainQueue(e.t, measured)
@@ -574,6 +689,12 @@ func (sr *streamRun) loop() error {
 			res.SchedulingTime += d
 			if measured {
 				sr.lat.add(float64(d))
+				sr.tlat[e.vm.Tier].add(float64(d))
+			}
+			if err != nil && r.preempt && e.vm.Tier < workload.NumTiers-1 {
+				// Both placement tiers failed: a high-priority arrival may
+				// displace strictly-lower-tier victims (core.Preempt).
+				a, err = sr.tryPreempt(e.vm, e.t, measured)
 			}
 			if err != nil {
 				if r.retry {
@@ -581,17 +702,22 @@ func (sr *streamRun) loop() error {
 					res.Enqueued++
 				} else {
 					res.TotalDropped++
+					res.Tiers[e.vm.Tier].TotalDropped++
 					if measured {
 						res.Dropped++
 						wind.cur.Dropped++
+						res.Tiers[e.vm.Tier].Dropped++
 					}
 				}
 			} else {
 				res.TotalAccepted++
+				res.Tiers[e.vm.Tier].TotalAccepted++
 				sr.resident++
 				if measured {
 					res.Accepted++
 					wind.cur.Accepted++
+					res.Tiers[e.vm.Tier].Accepted++
+					wind.cur.TierAccepted[e.vm.Tier]++
 				}
 				sr.h.Push(event{t: e.t + e.vm.Lifetime, kind: departure, seq: sr.seq, vm: e.vm, a: a})
 				sr.seq++
@@ -712,10 +838,15 @@ func (sr *streamRun) finish() *SteadyState {
 	res.WallTime = time.Since(sr.wallStart)
 
 	for i := sr.wHead; i < len(sr.waiting); i++ { // still queued: never placed
-		if sr.waiting[i].displaced {
+		q := sr.waiting[i]
+		switch {
+		case q.displaced:
 			res.DisplacedLost++ // was accepted once; its re-admission failed
-		} else {
+		case q.preempted:
+			res.PreemptLost++ // likewise: a victim never re-placed
+		default:
 			res.TotalDropped++
+			res.Tiers[q.vm.Tier].TotalDropped++
 		}
 	}
 	if res.RetrySucceeded > 0 {
@@ -733,6 +864,13 @@ func (sr *streamRun) finish() *SteadyState {
 	res.ReplaceP50 = time.Duration(sr.rep.percentile(50))
 	res.ReplaceP95 = time.Duration(sr.rep.percentile(95))
 	res.ReplaceP99 = time.Duration(sr.rep.percentile(99))
+	for t := range sr.tlat {
+		ts := &res.Tiers[t]
+		ts.LatencySamples = sr.tlat[t].samples()
+		ts.LatencyP50 = time.Duration(sr.tlat[t].percentile(50))
+		ts.LatencyP95 = time.Duration(sr.tlat[t].percentile(95))
+		ts.LatencyP99 = time.Duration(sr.tlat[t].percentile(99))
+	}
 	res.RateMultiplier = finalMultiplier(sr.s)
 
 	if sr.cfg.Workload.Drain {

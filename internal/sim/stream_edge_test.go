@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"risa/internal/units"
@@ -145,5 +146,30 @@ func TestRunStreamSnapshotAtValidation(t *testing.T) {
 	}
 	if ss.TotalArrivals != 50 {
 		t.Errorf("arrivals = %d, want 50", ss.TotalArrivals)
+	}
+}
+
+// TestPreemptConfigValidation: preemption is a serial, retry-queue
+// feature — Faults.Preempt without Faults.Retry is rejected, as is
+// combining it with agent-mode concurrency; both errors name the rule.
+func TestPreemptConfigValidation(t *testing.T) {
+	tr := edgeTrace(10)
+	base := StreamConfig{Workload: StreamWorkload{MaxArrivals: 10}, Windows: StreamWindows{Window: 100}}
+
+	noRetry := base
+	noRetry.Faults = StreamFaults{Preempt: true}
+	_, r := eqRunner(t, "RISA", Config{})
+	_, err := r.RunStream(workload.NewTraceStream(tr), noRetry)
+	if err == nil || !strings.Contains(err.Error(), "Faults.Preempt requires Faults.Retry") {
+		t.Fatalf("preempt without retry: got %v", err)
+	}
+
+	agents := base
+	agents.Faults = StreamFaults{Retry: true, Preempt: true}
+	agents.Concurrency.Agents = 4
+	_, r2 := eqRunner(t, "RISA", Config{})
+	_, err = r2.RunStream(workload.NewTraceStream(tr), agents)
+	if err == nil || !strings.Contains(err.Error(), "incompatible with agent mode") {
+		t.Fatalf("preempt with agents: got %v", err)
 	}
 }

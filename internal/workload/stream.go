@@ -194,7 +194,8 @@ func (s *SyntheticStream) Name() string {
 }
 
 // Next implements Stream. It draws exactly one interarrival gap, one CPU
-// size and one RAM size per call, in that order, so the random stream is
+// size and one RAM size per call, in that order — plus one tier draw at
+// the end when the config's TierMix is enabled — so the random stream is
 // consumed identically however the caller paces its pulls.
 func (s *SyntheticStream) Next() (VM, bool) {
 	c := s.cfg
@@ -210,6 +211,9 @@ func (s *SyntheticStream) Next() (VM, bool) {
 		Arrival:  int64(math.Round(s.now)),
 		Lifetime: c.LifetimeBase + c.LifetimeStep*int64(s.i/c.SetSize),
 		Req:      units.Vec(cpu, ram, c.StorageGB),
+	}
+	if c.Tiers.Enabled() {
+		vm.Tier = c.Tiers.sample(s.rng)
 	}
 	s.i++
 	return vm, true
@@ -242,6 +246,10 @@ type AzureEmpiricalConfig struct {
 	// Controller optionally steers the arrival rate toward a target
 	// occupancy (see UtilizationController).
 	Controller *UtilizationController
+	// Tiers, when enabled, draws a priority tier per VM from the mix
+	// (one extra RNG draw at the end of each Next); the zero value keeps
+	// the random stream bit-identical to pre-tier runs.
+	Tiers TierMix
 }
 
 // AzureEmpiricalStream resamples the Azure request mix open-endedly.
@@ -279,6 +287,9 @@ func NewAzureEmpirical(c AzureEmpiricalConfig) (*AzureEmpiricalStream, error) {
 			return nil, err
 		}
 	}
+	if err := c.Tiers.Validate(); err != nil {
+		return nil, err
+	}
 	src := NewCountingSource(c.Seed)
 	return &AzureEmpiricalStream{
 		cfg:  c,
@@ -294,7 +305,8 @@ func NewAzureEmpirical(c AzureEmpiricalConfig) (*AzureEmpiricalStream, error) {
 func (s *AzureEmpiricalStream) Name() string { return s.name }
 
 // Next implements Stream. Per call it draws one gap, one CPU sample, one
-// RAM sample and one lifetime, in that order.
+// RAM sample and one lifetime, in that order — plus one tier draw at the
+// end when the config's TierMix is enabled.
 func (s *AzureEmpiricalStream) Next() (VM, bool) {
 	c := s.cfg
 	gap := s.rng.ExpFloat64() * c.MeanInterarrival
@@ -313,6 +325,9 @@ func (s *AzureEmpiricalStream) Next() (VM, bool) {
 		Arrival:  int64(math.Round(s.now)),
 		Lifetime: life,
 		Req:      units.Vec(cpu, ram, c.StorageGB),
+	}
+	if c.Tiers.Enabled() {
+		vm.Tier = c.Tiers.sample(s.rng)
 	}
 	s.i++
 	return vm, true

@@ -66,6 +66,11 @@ type SyntheticConfig struct {
 	// UtilizationController). The finite Synthetic never receives
 	// feedback, so a controller leaves it unchanged.
 	Controller *UtilizationController
+
+	// Tiers, when enabled, draws a priority tier per VM from the mix
+	// (one extra RNG draw at the end of each Next). The zero value keeps
+	// the generator's random stream bit-identical to pre-tier runs.
+	Tiers TierMix
 }
 
 // DefaultSyntheticConfig returns the paper's exact parameters.
@@ -121,7 +126,7 @@ func (c SyntheticConfig) validateStream() error {
 			return err
 		}
 	}
-	return nil
+	return c.Tiers.Validate()
 }
 
 // gap draws one interarrival gap at simulated time now.

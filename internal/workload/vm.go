@@ -22,6 +22,11 @@ import (
 	"risa/internal/units"
 )
 
+// NumTiers is the number of priority tiers a VM can carry: tier 0 is the
+// highest priority (Protean's "high-priority / never evict" class), tier
+// NumTiers-1 the lowest (spot-like, first to be preempted).
+const NumTiers = 3
+
 // VM is one virtual-machine request: a compute vector plus its arrival
 // time and lifetime in simulation time units.
 type VM struct {
@@ -29,6 +34,12 @@ type VM struct {
 	Arrival  int64 // time units since simulation start
 	Lifetime int64 // time units the VM stays resident once scheduled
 	Req      units.Vector
+
+	// Tier is the VM's priority tier in [0, NumTiers): lower is more
+	// important. The zero value (tier 0, the default for every workload
+	// that predates tiers) is the highest priority, so untiered runs
+	// behave exactly as before — nothing ever preempts tier 0.
+	Tier int
 }
 
 // Departure returns the time the VM releases its resources.
@@ -47,6 +58,9 @@ func (v VM) Validate() error {
 	}
 	if v.Req.IsZero() {
 		return fmt.Errorf("workload: VM %d requests nothing", v.ID)
+	}
+	if v.Tier < 0 || v.Tier >= NumTiers {
+		return fmt.Errorf("workload: VM %d tier %d outside [0,%d)", v.ID, v.Tier, NumTiers)
 	}
 	return nil
 }
