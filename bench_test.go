@@ -323,6 +323,56 @@ func BenchmarkScheduleOneResumed(b *testing.B) {
 	}
 }
 
+// BenchmarkDriverPlace asserts the zero-allocation contract of the
+// daemon's drive path: one sim.Driver Place — virtual-time advance, the
+// due departure's release, the scheduling decision, and the departure
+// push — at steady residency. Arrivals tick one per unit time with a
+// fixed lifetime, so once the pipeline fills every Place releases
+// exactly one departure and the pending-event heap stops growing; from
+// there the whole place/depart cycle must allocate nothing, or risasvc's
+// worker loop would leak garbage at every request. Enforced at
+// 0 allocs/op by scripts/ci/allocguard.sh like the ScheduleOne contracts.
+func BenchmarkDriverPlace(b *testing.B) {
+	for _, alg := range experiments.Algorithms {
+		b.Run(alg, func(b *testing.B) {
+			st, err := experiments.DefaultSetup().NewState()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sch, err := experiments.NewScheduler(alg, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := sim.NewDriver(st, sch)
+			const lifetime = 500
+			id := 0
+			var now int64
+			round := func() {
+				id++
+				now++
+				vm := workload.VM{ID: id, Arrival: now, Lifetime: lifetime, Req: units.Vec(8, 16, 128)}
+				if _, _, err := d.Place(vm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Fill the pipeline: after `lifetime` rounds one VM departs per
+			// arrival, residency holds at `lifetime`, and the event heap's
+			// backing array has reached its high-water mark.
+			for i := 0; i < lifetime+64; i++ {
+				round()
+			}
+			if avg := testing.AllocsPerRun(200, round); avg != 0 {
+				b.Fatalf("%s: %.2f allocs/op on the drive path at steady state, want 0", alg, avg)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+		})
+	}
+}
+
 // BenchmarkScheduleOneScale is BenchmarkScheduleOne across cluster sizes:
 // the same per-VM decision on clusters from the paper's 18 racks up to
 // 1152, pre-loaded to the same per-rack operating point. With the

@@ -44,10 +44,13 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"risa/internal/experiments"
 	"risa/internal/report"
 	"risa/internal/sim"
+	"risa/internal/svc"
 	"risa/internal/workload"
 )
 
@@ -264,9 +267,12 @@ func buildSetup(o options) experiments.Setup {
 }
 
 // profiles holds the open pprof outputs of one invocation; the zero value
-// means profiling is off.
+// means profiling is off. stop is idempotent (sync.Once) because both the
+// clean exit path and the signal handler flush profiles, in either order.
 type profiles struct {
 	cpu, mem *os.File
+	once     sync.Once
+	err      error
 }
 
 // startProfiles validates the -cpuprofile/-memprofile paths by creating
@@ -296,10 +302,17 @@ func startProfiles(o options) (*profiles, error) {
 	return p, nil
 }
 
-// stop finishes the CPU profile and writes the heap profile; it runs only
-// on clean exits so a failed experiment never leaves a truncated profile
+// stop finishes the CPU profile and writes the heap profile. It runs on
+// clean exits and on SIGINT/SIGTERM — an interrupted profiling run keeps
+// the samples gathered so far instead of losing the files — but never on
+// error exits, so a failed experiment cannot leave a truncated profile
 // masquerading as a complete one.
 func (p *profiles) stop() error {
+	p.once.Do(func() { p.err = p.flush() })
+	return p.err
+}
+
+func (p *profiles) flush() error {
 	if p.cpu != nil {
 		pprof.StopCPUProfile()
 		if err := p.cpu.Close(); err != nil {
@@ -336,6 +349,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
 		os.Exit(2)
 	}
+	// SIGINT/SIGTERM (the daemon's signal plumbing, svc.NotifyShutdown):
+	// flush the pprof outputs before exiting so an interrupted profiling
+	// run keeps its samples. The -snapshot save path needs no handling —
+	// it writes its file atomically at the end of the warm run, so an
+	// interrupt aborts it cleanly rather than leaving a truncated state.
+	sigC, release := svc.NotifyShutdown()
+	defer release()
+	go func() {
+		sig := <-sigC
+		fmt.Fprintf(os.Stderr, "risasim: %v — flushing profiles before exit\n", sig)
+		if err := prof.stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "risasim: %v\n", err)
+		}
+		code := 1
+		if s, ok := sig.(syscall.Signal); ok {
+			code = 128 + int(s)
+		}
+		os.Exit(code)
+	}()
 	if opts.jsonPath != "" {
 		archive = report.NewDocument(opts.seed)
 	}

@@ -1,11 +1,15 @@
 // Command workloadgen generates and characterizes the paper's workloads
-// as replayable CSV traces.
+// as replayable CSV traces, and doubles as the load generator for the
+// risasvc daemon: with -url, the generated trace is sent as HTTP /place
+// requests instead of written out, with capped-backoff retries against
+// backpressure and a saturation summary at the end.
 //
 // Usage:
 //
 //	workloadgen -kind synthetic -out synthetic.csv
 //	workloadgen -kind azure-5000 -seed 7 -out azure5000.csv
 //	workloadgen -kind azure-3000 -characterize     # print Figure 6 histograms
+//	workloadgen -url http://localhost:8080 -count 1500 -rate 300
 package main
 
 import (
@@ -25,7 +29,27 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	characterize := flag.Bool("characterize", false, "print request histograms instead of CSV")
 	arrivals := flag.String("arrivals", "poisson", "synthetic arrival process: poisson, uniform, bursty")
+	url := flag.String("url", "", "risasvc base URL; when set, send the trace as /place requests instead of writing CSV")
+	count := flag.Int("count", 0, "HTTP mode: number of VMs to send (0 = whole trace)")
+	rate := flag.Float64("rate", 0, "HTTP mode: offered load in requests/s (0 = closed loop)")
+	workers := flag.Int("workers", 1, "HTTP mode: concurrent senders (>1 forfeits deterministic order; saturation runs only)")
+	deadlineMS := flag.Int64("deadline-ms", 0, "HTTP mode: per-request queue deadline forwarded to the daemon")
 	flag.Parse()
+
+	if *url != "" {
+		tr, err := generate(*kind, *seed, *arrivals)
+		if err == nil {
+			err = runClient(tr, clientOptions{
+				url: *url, count: *count, rate: *rate,
+				workers: *workers, deadlineMS: *deadlineMS, seed: *seed,
+			})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(*kind, *out, *seed, *characterize, *arrivals); err != nil {
 		fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)

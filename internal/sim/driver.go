@@ -1,0 +1,254 @@
+// Step-wise drive API: the placement-as-a-service daemon (internal/svc)
+// owns a live cluster but has no workload stream to pull from — arrivals
+// come one at a time over HTTP, interleaved with live cluster mutations.
+// Driver exposes the simulator's event machinery one externally supplied
+// event at a time: each Place advances virtual time to the VM's arrival
+// (releasing every departure due by then, departures-before-arrivals
+// exactly like the batch loops), each Apply toggles hardware failure
+// through the same per-box outage refcounts the fault plans use, and
+// Snapshot/RestoreDriver capture and restore the complete driver state
+// at a decision boundary — the foundation of the daemon's
+// restore-then-replay crash recovery.
+//
+// Determinism contract: a Driver's visible decisions are a pure function
+// of the sequence of Place/Apply/SetScheduler calls (and the initial
+// state), never of wall-clock time. Replaying the same call sequence on
+// a fresh driver — or the suffix of it on a restored snapshot —
+// reproduces every placement bit-identically, which is what the daemon's
+// write-ahead journal relies on.
+package sim
+
+import (
+	"fmt"
+
+	"risa/internal/faults"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/workload"
+)
+
+// Driver drives one scheduler over one datacenter state, one externally
+// supplied event at a time. It is single-writer: not safe for concurrent
+// use (the daemon serializes all calls through its worker loop).
+type Driver struct {
+	st  *sched.State
+	sch sched.Scheduler
+
+	h        eventQueue
+	seq      int
+	lastT    int64
+	resident int
+
+	// downCount is the per-box outage refcount shared with the fault-plan
+	// machinery (see faults.go): overlapping box- and rack-scope outages
+	// only return a box to service at the last covering repair.
+	downCount []int
+}
+
+// NewDriver binds a driver to st and sch. The scheduler must be bound to
+// st (sched.New does that).
+func NewDriver(st *sched.State, sch sched.Scheduler) *Driver {
+	return &Driver{st: st, sch: sch, downCount: make([]int, len(st.Cluster.Boxes()))}
+}
+
+// Now returns the driver's current virtual time: the time of the last
+// event processed.
+func (d *Driver) Now() int64 { return d.lastT }
+
+// Resident returns the number of VMs currently placed.
+func (d *Driver) Resident() int { return d.resident }
+
+// Scheduler returns the currently bound scheduler.
+func (d *Driver) Scheduler() sched.Scheduler { return d.sch }
+
+// SetScheduler hot-swaps the bound scheduler at a decision boundary: the
+// cluster's lazy index tiers are settled first (topology.Settle), so the
+// incoming algorithm starts from exact candidate bounds. Pending
+// departures made by the old scheduler release fine through the new one
+// — Release operates on the shared State and its pools, exactly like a
+// cross-algorithm snapshot resume.
+func (d *Driver) SetScheduler(sch sched.Scheduler) {
+	d.st.Cluster.Settle()
+	d.sch = sch
+}
+
+// Advance moves virtual time to t, releasing every pending departure due
+// at or before t (departures precede arrivals at equal times, the batch
+// loops' event order). Time never goes backwards: t earlier than the
+// current time is clamped, and the effective time is returned.
+func (d *Driver) Advance(t int64) int64 {
+	if t < d.lastT {
+		t = d.lastT
+	}
+	for d.h.Len() > 0 && d.h.Min().t <= t {
+		e := d.h.Pop()
+		if e.a != nil {
+			d.sch.Release(e.a)
+			d.resident--
+		}
+	}
+	d.lastT = t
+	return t
+}
+
+// Place advances virtual time to the VM's arrival (clamped to now — a
+// late-stamped request places at the current time) and schedules it. On
+// success the VM's departure is queued at its lifetime's end and the
+// assignment returned with the effective placement time; on failure the
+// scheduling error describes why the VM was rejected, the state
+// untouched. Invalid VMs are rejected before time advances.
+func (d *Driver) Place(vm workload.VM) (*sched.Assignment, int64, error) {
+	if err := vm.Validate(); err != nil {
+		return nil, d.lastT, err
+	}
+	t := d.Advance(vm.Arrival)
+	a, err := d.sch.Schedule(vm)
+	if err != nil {
+		return nil, t, err
+	}
+	d.h.Push(event{t: t + vm.Lifetime, kind: departure, seq: d.seq, vm: vm, a: a})
+	d.seq++
+	d.resident++
+	return a, t, nil
+}
+
+// Apply advances virtual time to the event's timestamp and applies one
+// box- or rack-scope failure or repair through the per-box outage
+// refcounts (a box returns to service only at the last covering repair).
+// Resident VMs ride out the outage in place — their circuits are
+// established and releases return shares even on failed hardware — while
+// new arrivals route around the hole; this is the batch loops' default
+// (non-Evict) fault semantics. Pod-scope events are not supported: the
+// driver has no fault plan to carry a pod size.
+func (d *Driver) Apply(ev faults.Event) error {
+	cl := d.st.Cluster
+	switch ev.Tier {
+	case faults.BoxTier:
+		if ev.Rack < 0 || ev.Rack >= cl.NumRacks() || ev.Box < 0 || ev.Box >= cl.Config().BoxesPerRack() {
+			return fmt.Errorf("sim: mutation %v outside %d racks × %d boxes", ev, cl.NumRacks(), cl.Config().BoxesPerRack())
+		}
+	case faults.RackTier:
+		if ev.Rack < 0 || ev.Rack >= cl.NumRacks() {
+			return fmt.Errorf("sim: mutation %v outside %d racks", ev, cl.NumRacks())
+		}
+	default:
+		return fmt.Errorf("sim: driver mutations are box- or rack-scope, got %v", ev.Tier)
+	}
+	d.Advance(ev.T)
+	switch ev.Tier {
+	case faults.BoxTier:
+		noteFault(cl, d.downCount, cl.Rack(ev.Rack).Boxes()[ev.Box], ev.Repair)
+	case faults.RackTier:
+		for _, b := range cl.Rack(ev.Rack).Boxes() {
+			noteFault(cl, d.downCount, b, ev.Repair)
+		}
+	}
+	return nil
+}
+
+// DriverSnapshot is the complete serializable state of a Driver at a
+// decision boundary: the datacenter planes and scheduler state
+// (StateSnapshot), the pending departures in heap array order, the
+// virtual clock, and the outage refcounts. It is plain data —
+// gob-serializable and immutable once captured.
+type DriverSnapshot struct {
+	LastT     int64
+	Seq       int
+	Resident  int
+	State     StateSnapshot
+	Events    []EventState
+	DownCount []int
+}
+
+// Snapshot captures the driver's complete state at the current decision
+// boundary. It only reads — the driver continues unperturbed.
+func (d *Driver) Snapshot() (*DriverSnapshot, error) {
+	live := make([]*sched.Assignment, 0, d.h.Len())
+	events := make([]EventState, 0, d.h.Len())
+	for i := range d.h.s {
+		e := &d.h.s[i]
+		if e.kind != departure {
+			return nil, fmt.Errorf("sim: driver heap holds a non-departure event (kind %d)", e.kind)
+		}
+		es := EventState{T: e.t, Kind: int(e.kind), Seq: e.seq, VM: e.vm, A: -1}
+		if e.a != nil {
+			es.A = len(live)
+			live = append(live, e.a)
+		}
+		events = append(events, es)
+	}
+	state, err := CaptureState(d.st, d.sch, live)
+	if err != nil {
+		return nil, err
+	}
+	return &DriverSnapshot{
+		LastT:     d.lastT,
+		Seq:       d.seq,
+		Resident:  d.resident,
+		State:     *state,
+		Events:    events,
+		DownCount: append([]int(nil), d.downCount...),
+	}, nil
+}
+
+// RestoreDriver rebuilds a driver from a snapshot onto a pristine st:
+// placements and flows are replayed through the real allocation paths,
+// hardware failures re-applied, the pending-departure heap rebuilt
+// verbatim, and the scheduler's carried cursor state replayed when sch
+// bears the name the snapshot was captured under (a swapped-algorithm
+// snapshot restores its own algorithm's cursors; cross-algorithm
+// restores start sch from zero state). Continuing the restored driver
+// with the original call-sequence suffix reproduces the original's
+// decisions bit-identically.
+func RestoreDriver(st *sched.State, sch sched.Scheduler, snap *DriverSnapshot) (*Driver, error) {
+	live, err := RestoreState(st, sch, &snap.State)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDriver(st, sch)
+	d.lastT = snap.LastT
+	d.seq = snap.Seq
+	d.resident = snap.Resident
+	if len(snap.DownCount) != len(d.downCount) {
+		return nil, fmt.Errorf("sim: snapshot carries %d outage refcounts, cluster has %d boxes",
+			len(snap.DownCount), len(d.downCount))
+	}
+	copy(d.downCount, snap.DownCount)
+	// Rebuild the heap's backing array verbatim: the snapshot recorded a
+	// valid heap in array order, so assigning it preserves the heap
+	// property.
+	d.h.s = make([]event, len(snap.Events))
+	for i, es := range snap.Events {
+		e := event{t: es.T, kind: eventKind(es.Kind), seq: es.Seq, vm: es.VM}
+		if e.kind != departure {
+			return nil, fmt.Errorf("sim: driver snapshot event %d is not a departure (kind %d)", i, es.Kind)
+		}
+		if es.A >= 0 {
+			if es.A >= len(live) {
+				return nil, fmt.Errorf("sim: driver snapshot event %d references assignment %d of %d", i, es.A, len(live))
+			}
+			e.a = live[es.A]
+		}
+		d.h.s[i] = e
+	}
+	return d, nil
+}
+
+// noteFault adjusts one box's outage refcount and toggles the topology
+// failure flag on the 0↔positive edges. It is the shared core of the
+// fault-plan machinery (Runner.applyFault) and the driver's live
+// mutations.
+func noteFault(cl *topology.Cluster, downCount []int, b *topology.Box, repair bool) {
+	i := b.Rack()*cl.Config().BoxesPerRack() + b.Index()
+	if repair {
+		if downCount[i] > 0 {
+			downCount[i]--
+		}
+		if downCount[i] == 0 {
+			cl.SetBoxFailed(b, false)
+		}
+		return
+	}
+	downCount[i]++
+	cl.SetBoxFailed(b, true)
+}

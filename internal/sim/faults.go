@@ -55,20 +55,11 @@ func (r *Runner) applyFault(ev faults.Event) {
 }
 
 // noteFault adjusts one box's outage refcount and toggles the topology
-// failure flag on the 0↔positive edges.
+// failure flag on the 0↔positive edges. The core lives in the
+// package-level noteFault (driver.go) so the daemon's live mutations
+// share the exact refcount semantics of the fault plans.
 func (r *Runner) noteFault(b *topology.Box, repair bool) {
-	i := b.Rack()*r.st.Cluster.Config().BoxesPerRack() + b.Index()
-	if repair {
-		if r.downCount[i] > 0 {
-			r.downCount[i]--
-		}
-		if r.downCount[i] == 0 {
-			r.st.Cluster.SetBoxFailed(b, false)
-		}
-		return
-	}
-	r.downCount[i]++
-	r.st.Cluster.SetBoxFailed(b, true)
+	noteFault(r.st.Cluster, r.downCount, b, repair)
 }
 
 // sameInstantFaultPending reports whether the queue's next event is

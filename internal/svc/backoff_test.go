@@ -1,0 +1,66 @@
+package svc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryBackoffBounded pins the retry-path hardening contract: every
+// delay is positive, no delay reaches the cap's ceiling, ceilings grow
+// exponentially until the cap and then stay there, and the sequence is
+// deterministic per seed (so a retrying client is reproducible in
+// tests) while differing across seeds (so a fleet of shed clients
+// decorrelates instead of re-arriving in lockstep).
+func TestRetryBackoffBounded(t *testing.T) {
+	const base, cap = 10 * time.Millisecond, 500 * time.Millisecond
+	b := NewBackoff(base, cap, 42)
+	var delays []time.Duration
+	for i := 0; i < 64; i++ {
+		d := b.Next()
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %s", i, d)
+		}
+		if d >= cap {
+			t.Fatalf("attempt %d: delay %s at or above cap %s", i, d, cap)
+		}
+		delays = append(delays, d)
+	}
+	// Growth: the ceiling doubles, so by attempt 6 (ceiling 640ms → cap)
+	// delays must be drawn from [cap/2, cap); the tail is cap-bounded.
+	for i := 7; i < len(delays); i++ {
+		if delays[i] < cap/2 {
+			t.Fatalf("attempt %d: delay %s below capped floor %s", i, delays[i], cap/2)
+		}
+	}
+	// Early attempts stay under their small ceilings.
+	if delays[0] >= 2*base {
+		t.Fatalf("first delay %s exceeds base ceiling %s", delays[0], base)
+	}
+
+	// Deterministic per seed.
+	b2 := NewBackoff(base, cap, 42)
+	for i := range delays {
+		if d := b2.Next(); d != delays[i] {
+			t.Fatalf("same seed diverged at attempt %d: %s vs %s", i, d, delays[i])
+		}
+	}
+	// Different seeds decorrelate (identical whole sequences would defeat
+	// the jitter's purpose).
+	b3 := NewBackoff(base, cap, 43)
+	same := true
+	for i := range delays {
+		if b3.Next() != delays[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+
+	// Reset rewinds growth: the next delay is small again.
+	b.Reset()
+	if d := b.Next(); d >= 2*base {
+		t.Fatalf("post-Reset delay %s exceeds base ceiling", d)
+	}
+}

@@ -1,0 +1,351 @@
+package svc
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"risa/internal/faults"
+	"risa/internal/network"
+	"risa/internal/sched"
+	"risa/internal/topology"
+	"risa/internal/units"
+	"risa/internal/workload"
+
+	_ "risa/internal/baseline" // register NULB, NALB
+	_ "risa/internal/core"     // register RISA, RISA-BF
+)
+
+// testConfig is a small daemon shape: 4 in-service racks, 1 spare.
+func testConfig() Config {
+	tcfg := topology.DefaultConfig()
+	tcfg.Racks = 4
+	return Config{Topology: tcfg, Network: network.DefaultConfig(), Spares: 1, Algo: "RISA"}
+}
+
+// op is one scripted engine operation for the twin tests.
+type op struct {
+	kind    RecordKind
+	vm      workload.VM
+	fault   faults.Event
+	algo    string
+	addRack bool
+}
+
+// genOps derives a deterministic operation script from seed: mostly
+// placements with monotone arrivals, seasoned with rack/box fail+heal
+// pairs, at most one add-rack, and scheduler swaps.
+func genOps(seed int64, n int) []op {
+	rng := rand.New(rand.NewSource(seed))
+	algos := sched.Registered()
+	ops := make([]op, 0, n)
+	var t int64
+	addRacks := 0
+	id := 0
+	for len(ops) < n {
+		switch k := rng.Intn(20); {
+		case k < 15: // placement
+			t += rng.Int63n(15)
+			id++
+			ops = append(ops, op{kind: RecordPlace, vm: workload.VM{
+				ID:       id,
+				Arrival:  t,
+				Lifetime: 1 + rng.Int63n(120),
+				Tier:     rng.Intn(workload.NumTiers),
+				Req: units.Vec(
+					units.Amount(1+rng.Int63n(32)),
+					units.Amount(1+rng.Int63n(32)),
+					units.Amount(64*rng.Int63n(4))),
+			}})
+		case k < 17: // fail+heal pair over an in-service rack
+			ev := faults.Event{Tier: faults.RackTier, Rack: rng.Intn(4)}
+			if rng.Intn(2) == 0 {
+				ev.Tier = faults.BoxTier
+				ev.Box = rng.Intn(6)
+			}
+			heal := ev
+			heal.Repair = true
+			ops = append(ops, op{kind: RecordMutate, fault: ev}, op{kind: RecordMutate, fault: heal})
+		case k < 18 && addRacks == 0: // one add-rack per script at most
+			addRacks++
+			ops = append(ops, op{kind: RecordAddRack, addRack: true})
+		default: // swap
+			ops = append(ops, op{kind: RecordSwap, algo: algos[rng.Intn(len(algos))]})
+		}
+	}
+	return ops[:n]
+}
+
+// applyOps runs the script's tail starting at from; the engine must
+// already hold the effect of ops[:from].
+func applyOps(t *testing.T, e *Engine, ops []op, from int) {
+	t.Helper()
+	for i := from; i < len(ops); i++ {
+		var err error
+		switch o := ops[i]; o.kind {
+		case RecordPlace:
+			_, err = e.Place(o.vm)
+		case RecordMutate:
+			err = e.Mutate(o.fault)
+		case RecordAddRack:
+			_, err = e.AddRack()
+		case RecordSwap:
+			err = e.Swap(o.algo)
+		}
+		if err != nil {
+			t.Fatalf("op %d (%+v): %v", i, ops[i], err)
+		}
+	}
+}
+
+// assertTwins asserts decision-for-decision and state-level equality of
+// the crashed-and-recovered engine b against the uncrashed twin a.
+func assertTwins(t *testing.T, a, b *Engine) {
+	t.Helper()
+	if !reflect.DeepEqual(a.History(), b.History()) {
+		ha, hb := a.History(), b.History()
+		for i := range ha {
+			if i >= len(hb) || ha[i] != hb[i] {
+				t.Fatalf("histories diverge at %d:\n  uncrashed: %+v\n  recovered: %+v", i, ha[i], hb[i])
+			}
+		}
+		t.Fatalf("recovered history has %d decisions, uncrashed %d", len(hb), len(ha))
+	}
+	if a.Now() != b.Now() || a.Resident() != b.Resident() || a.Algo() != b.Algo() || a.InService() != b.InService() {
+		t.Fatalf("state diverged: now %d/%d resident %d/%d algo %s/%s racks %d/%d",
+			a.Now(), b.Now(), a.Resident(), b.Resident(), a.Algo(), b.Algo(), a.InService(), b.InService())
+	}
+	sa, err := a.d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("driver snapshots differ after identical op sequences")
+	}
+}
+
+// crash simulates kill -9: the journal file handle closes (the kernel
+// would do the same) but no final snapshot is written and no in-memory
+// state survives.
+func (e *Engine) crash() { e.j.Close() }
+
+// TestCrashReplayEquivalence is the deterministic core of the recovery
+// contract: kill the engine at an op boundary, reopen from snapshot +
+// journal, finish the script, and require bit-identical history and
+// driver state against an uncrashed twin — including across swaps,
+// mutations and an add-rack.
+func TestCrashReplayEquivalence(t *testing.T) {
+	cfg := testConfig()
+	ops := genOps(42, 80)
+	for _, crashAt := range []int{0, 1, 13, 40, 79, 80} {
+		a, err := Open(t.TempDir(), cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, a, ops, 0)
+
+		dirB := t.TempDir()
+		b, err := Open(dirB, cfg, 7) // frequent snapshots: exercise restore
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, b, ops[:crashAt], 0)
+		b.crash()
+		b2, err := Open(dirB, cfg, 7)
+		if err != nil {
+			t.Fatalf("crashAt %d: reopen: %v", crashAt, err)
+		}
+		applyOps(t, b2, ops, crashAt)
+		assertTwins(t, a, b2)
+		a.crash()
+		b2.crash()
+	}
+}
+
+// TestDoubleCrash kills the engine twice — the second time from an
+// already-recovered process whose snapshots were taken mid-recovery —
+// and still requires exact equivalence with the uncrashed twin.
+func TestDoubleCrash(t *testing.T) {
+	cfg := testConfig()
+	ops := genOps(7, 60)
+	a, err := Open(t.TempDir(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.crash()
+	applyOps(t, a, ops, 0)
+
+	dirB := t.TempDir()
+	b, err := Open(dirB, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, b, ops[:20], 0)
+	b.crash()
+	b2, err := Open(dirB, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, b2, ops[:45], 20)
+	b2.crash()
+	b3, err := Open(dirB, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b3.crash()
+	applyOps(t, b3, ops, 45)
+	assertTwins(t, a, b3)
+}
+
+// TestEngineDedup pins exactly-once semantics: retrying a decided VM ID
+// returns the original outcome without re-placing.
+func TestEngineDedup(t *testing.T) {
+	e, err := Open(t.TempDir(), testConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.crash()
+	vm := workload.VM{ID: 9, Lifetime: 50, Req: units.Vec(4, 8, 64)}
+	first, err := e.Place(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resident := e.Resident()
+	again, err := e.Place(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatalf("retry returned %+v, want original %+v", again, first)
+	}
+	if e.Resident() != resident {
+		t.Fatalf("retry changed resident count %d → %d", resident, e.Resident())
+	}
+	if len(e.History()) != 1 {
+		t.Fatalf("retry appended to history: %d entries", len(e.History()))
+	}
+}
+
+// TestEngineAddRackSpares pins the spare-rack ladder: capacity grows per
+// add-rack, mutations outside in-service racks are rejected, and the
+// spares eventually run out.
+func TestEngineAddRackSpares(t *testing.T) {
+	e, err := Open(t.TempDir(), testConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.crash()
+	if e.InService() != 4 || e.Spares() != 1 {
+		t.Fatalf("genesis: %d in service, %d spares", e.InService(), e.Spares())
+	}
+	if err := e.Mutate(faults.Event{Tier: faults.RackTier, Rack: 4}); err == nil {
+		t.Fatal("mutating a dark spare rack must be rejected")
+	}
+	rack, err := e.AddRack()
+	if err != nil || rack != 4 {
+		t.Fatalf("AddRack = %d, %v; want 4, nil", rack, err)
+	}
+	if e.Spares() != 0 {
+		t.Fatalf("spares after add: %d", e.Spares())
+	}
+	if err := e.Mutate(faults.Event{Tier: faults.RackTier, Rack: 4}); err != nil {
+		t.Fatalf("mutating the newly added rack: %v", err)
+	}
+	if _, err := e.AddRack(); err == nil {
+		t.Fatal("AddRack with no spares left must fail")
+	}
+}
+
+// TestEngineShapeMismatch pins the recovery compatibility check: state
+// captured under one datacenter shape must not restore under another.
+func TestEngineShapeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, testConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Place(workload.VM{ID: 1, Lifetime: 10, Req: units.Vec(1, 1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	e.crash()
+	bigger := testConfig()
+	bigger.Topology.Racks = 8
+	if _, err := Open(dir, bigger, 0); err == nil {
+		t.Fatal("reopening under a different shape must fail")
+	}
+}
+
+// FuzzCrashReplay randomizes the crash-recovery twin test: a seeded op
+// script, a crash at an arbitrary op boundary with aggressive snapshot
+// cadence, recovery, and the script's remainder — recovered history and
+// driver state must match the uncrashed twin exactly.
+func FuzzCrashReplay(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(40), uint8(3))
+	f.Add(int64(99), uint8(0), uint8(25), uint8(1))
+	f.Add(int64(7), uint8(60), uint8(60), uint8(16))
+	cfg := testConfig()
+	f.Fuzz(func(t *testing.T, seed int64, crashAt, nOps, snapEvery uint8) {
+		n := int(nOps)%64 + 1
+		k := int(crashAt) % (n + 1)
+		ops := genOps(seed, n)
+
+		a, err := Open(t.TempDir(), cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.crash()
+		applyOps(t, a, ops, 0)
+
+		dirB := t.TempDir()
+		b, err := Open(dirB, cfg, int(snapEvery)%9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, b, ops[:k], 0)
+		b.crash()
+		b2, err := Open(dirB, cfg, int(snapEvery)%9)
+		if err != nil {
+			t.Fatalf("reopen after crash at op %d/%d: %v", k, n, err)
+		}
+		defer b2.crash()
+		applyOps(t, b2, ops, k)
+		assertTwins(t, a, b2)
+	})
+}
+
+// TestRecoveryWithoutSnapshot covers the genesis-replay path: delete the
+// snapshot after a crash and recovery must still rebuild everything from
+// the journal alone.
+func TestRecoveryWithoutSnapshot(t *testing.T) {
+	cfg := testConfig()
+	ops := genOps(3, 40)
+	a, err := Open(t.TempDir(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.crash()
+	applyOps(t, a, ops, 0)
+
+	dirB := t.TempDir()
+	b, err := Open(dirB, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, b, ops, 0)
+	b.crash()
+	if err := os.Remove(filepath.Join(dirB, snapshotFile)); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Open(dirB, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.crash()
+	assertTwins(t, a, b2)
+}

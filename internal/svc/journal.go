@@ -1,0 +1,258 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"risa/internal/faults"
+	"risa/internal/workload"
+)
+
+// journalMagic identifies the journal file format; bump the trailing
+// digit on incompatible record changes.
+const journalMagic = "risawal1"
+
+// RecordKind discriminates the operations a journal record can carry.
+type RecordKind uint8
+
+// The journaled operation kinds. Everything that changes engine state is
+// journaled before it is applied; reads are not.
+const (
+	// RecordPlace is a placement request (VM is set).
+	RecordPlace RecordKind = iota + 1
+	// RecordMutate is a live fail/heal mutation (Fault is set).
+	RecordMutate
+	// RecordSwap is a scheduler hot-swap (Algo is set).
+	RecordSwap
+	// RecordAddRack brings the next spare rack into service.
+	RecordAddRack
+)
+
+// Record is one journaled operation. Seq numbers start at 1 and are
+// strictly consecutive; a gap means the file was tampered with and is
+// rejected at open.
+type Record struct {
+	Seq   int64
+	Kind  RecordKind
+	VM    workload.VM  // RecordPlace
+	Fault faults.Event // RecordMutate
+	Algo  string       // RecordSwap
+}
+
+// Journal is an append-only write-ahead log with per-record CRC framing.
+// Every Append is fsync'd before it returns, so an acknowledged record
+// survives kill -9. The frame is [4-byte length][4-byte CRC32][gob
+// payload]; each record is a self-contained gob stream.
+//
+// Torn-tail policy (see openJournal): a record that fails its checksum
+// or runs past end-of-file is tolerated — and truncated away — only if
+// it is the file's final frame, the signature of a crash mid-append.
+// A bad record with more data after it means mid-file corruption, which
+// recovery must refuse rather than silently replay around.
+type Journal struct {
+	f       *os.File
+	nextSeq int64
+}
+
+// openJournal opens (or creates) the journal at path, validates the
+// header against cfg, scans every intact record, truncates a torn tail,
+// and leaves the file positioned for append. The scanned records are
+// returned for replay.
+func openJournal(path string, cfg Config) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if info.Size() == 0 {
+		if err := writeJournalHeader(f, cfg); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("svc: initialize journal: %w", err)
+		}
+		return &Journal{f: f, nextSeq: 1}, nil, nil
+	}
+	recs, end, err := scanJournal(f, cfg, info.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if end < info.Size() {
+		// Torn tail from a crash mid-append: drop it so the next append
+		// starts at a clean frame boundary.
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	next := int64(1)
+	if n := len(recs); n > 0 {
+		next = recs[n-1].Seq + 1
+	}
+	return &Journal{f: f, nextSeq: next}, recs, nil
+}
+
+// writeJournalHeader writes the magic and the config echo frame, fsync'd.
+func writeJournalHeader(f *os.File, cfg Config) error {
+	if _, err := f.Write([]byte(journalMagic)); err != nil {
+		return err
+	}
+	payload, err := gobBytes(&cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(frame(payload)); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// scanJournal validates the header and reads records until the end of
+// the intact prefix, returning the records and the file offset where the
+// intact prefix ends. A bad final frame is tolerated (torn tail); a bad
+// frame with data after it is an error.
+func scanJournal(f *os.File, cfg Config, size int64) ([]Record, int64, error) {
+	r := &offsetReader{f: f}
+	magic := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != journalMagic {
+		return nil, 0, fmt.Errorf("svc: %s is not a risasvc journal", f.Name())
+	}
+	hdr, _, err := readFrame(r, size)
+	if err != nil {
+		return nil, 0, fmt.Errorf("svc: journal header unreadable: %w", err)
+	}
+	var onDisk Config
+	if err := gob.NewDecoder(bytes.NewReader(hdr)).Decode(&onDisk); err != nil {
+		return nil, 0, fmt.Errorf("svc: journal header undecodable: %w", err)
+	}
+	if !sameShape(onDisk, cfg) {
+		return nil, 0, fmt.Errorf("svc: journal was written for a different datacenter shape (%+v)", onDisk.Topology)
+	}
+	var recs []Record
+	end := r.off
+	for r.off < size {
+		payload, torn, err := readFrame(r, size)
+		if torn {
+			// The bad frame's declared extent reaches end-of-file: a crash
+			// mid-append. Everything before it is intact.
+			return recs, end, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("svc: journal corrupt at offset %d: %w", end, err)
+		}
+		var rec Record
+		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); derr != nil {
+			if r.off >= size {
+				return recs, end, nil // undecodable final frame: torn tail
+			}
+			return nil, 0, fmt.Errorf("svc: journal record at offset %d undecodable: %v", end, derr)
+		}
+		if want := int64(len(recs)) + 1; rec.Seq != want {
+			return nil, 0, fmt.Errorf("svc: journal record at offset %d has seq %d, want %d", end, rec.Seq, want)
+		}
+		recs = append(recs, rec)
+		end = r.off
+	}
+	return recs, end, nil
+}
+
+// readFrame reads one [len][crc][payload] frame. torn is true when the
+// frame's declared extent runs past size (the only way a crash mid-append
+// can look); a checksum mismatch on a fully-present frame is an error and
+// the caller decides whether its position (final or not) excuses it.
+func readFrame(r *offsetReader, size int64) (payload []byte, torn bool, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, true, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if r.off+int64(n) > size {
+		// The declared extent runs past end-of-file — a torn append (even a
+		// garbage length lands here, since the payload was never written).
+		return nil, true, io.ErrUnexpectedEOF
+	}
+	if maxFrame := uint32(1 << 26); n > maxFrame {
+		return nil, false, fmt.Errorf("frame length %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, true, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		if r.off >= size {
+			return nil, true, fmt.Errorf("final frame checksum mismatch")
+		}
+		return nil, false, fmt.Errorf("frame checksum mismatch")
+	}
+	return payload, false, nil
+}
+
+// Append journals one record and forces it to stable storage. The
+// record's Seq is assigned here; the engine applies the operation only
+// after Append returns.
+func (j *Journal) Append(rec *Record) error {
+	rec.Seq = j.nextSeq
+	payload, err := gobBytes(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(frame(payload)); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.nextSeq++
+	return nil
+}
+
+// NextSeq returns the sequence number the next Append will assign.
+func (j *Journal) NextSeq() int64 { return j.nextSeq }
+
+// Close closes the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// frame wraps payload in the [len][crc][payload] on-disk framing.
+func frame(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[8:], payload)
+	return out
+}
+
+// gobBytes encodes v as one self-contained gob stream.
+func gobBytes(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// offsetReader tracks the read offset so the scanner can report where
+// the intact prefix ends.
+type offsetReader struct {
+	f   *os.File
+	off int64
+}
+
+// Read reads from the underlying file, advancing the tracked offset.
+func (r *offsetReader) Read(p []byte) (int, error) {
+	n, err := r.f.Read(p)
+	r.off += int64(n)
+	return n, err
+}

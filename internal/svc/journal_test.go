@@ -1,0 +1,192 @@
+package svc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// journalWith writes n place records and returns the journal path.
+func journalWith(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, recs, err := openJournal(path, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal returned %d records", len(recs))
+	}
+	for i := 0; i < n; i++ {
+		rec := Record{Kind: RecordPlace, VM: workload.VM{ID: i + 1, Lifetime: 10, Req: units.Vec(1, 1, 0)}}
+		if err := j.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("record %d assigned seq %d", i, rec.Seq)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func reopen(t *testing.T, path string) ([]Record, error) {
+	t.Helper()
+	j, recs, err := openJournal(path, testConfig())
+	if err != nil {
+		return nil, err
+	}
+	j.Close()
+	return recs, nil
+}
+
+// TestJournalRoundtrip pins the happy path: append, reopen, same
+// records, appends continue the sequence.
+func TestJournalRoundtrip(t *testing.T) {
+	path := journalWith(t, 5)
+	recs, err := reopen(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("reopened %d records, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != int64(i+1) || rec.Kind != RecordPlace || rec.VM.ID != i+1 {
+			t.Fatalf("record %d corrupted on roundtrip: %+v", i, rec)
+		}
+	}
+	j, _, err := openJournal(path, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.NextSeq() != 6 {
+		t.Fatalf("NextSeq after reopen = %d, want 6", j.NextSeq())
+	}
+}
+
+// TestJournalTornTailTolerated pins the crash-mid-append policy: a
+// truncated final record is dropped, everything before it survives, and
+// the file is usable for append again.
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := journalWith(t, 5)
+	for _, chop := range []int64{1, 5, 9} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, info.Size()-chop); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := reopen(t, path)
+		if err != nil {
+			t.Fatalf("chop %d: torn tail must be tolerated, got %v", chop, err)
+		}
+		if len(recs) != 4 {
+			t.Fatalf("chop %d: %d records survive, want 4", chop, len(recs))
+		}
+		// restore a full 5-record journal for the next chop size
+		path = journalWith(t, 5)
+	}
+}
+
+// TestJournalTornTailTruncatedOnOpen pins that open removes the torn
+// bytes: after reopening, an append lands at a clean frame boundary and
+// the journal reads back whole.
+func TestJournalTornTailTruncatedOnOpen(t *testing.T) {
+	path := journalWith(t, 3)
+	info, _ := os.Stat(path)
+	if err := os.Truncate(path, info.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := openJournal(path, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records survive the torn tail, want 2", len(recs))
+	}
+	rec := Record{Kind: RecordAddRack}
+	if err := j.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 3 {
+		t.Fatalf("post-truncation append got seq %d, want 3", rec.Seq)
+	}
+	j.Close()
+	recs, err = reopen(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].Kind != RecordAddRack {
+		t.Fatalf("journal after truncate+append reads %+v", recs)
+	}
+}
+
+// TestJournalMidFileCorruptionRejected pins the other half of the
+// policy: a flipped byte with intact data after it is not a torn tail —
+// it is corruption, and recovery must refuse to replay around it.
+func TestJournalMidFileCorruptionRejected(t *testing.T) {
+	path := journalWith(t, 6)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reopen(t, path); err == nil {
+		t.Fatal("mid-file corruption must be rejected, not replayed around")
+	}
+}
+
+// TestJournalBadFinalFrameTolerated: a corrupted record is excusable
+// only as the file's final frame (indistinguishable from a torn
+// append); flip a byte in the last record's payload and the journal
+// opens with one record fewer.
+func TestJournalBadFinalFrameTolerated(t *testing.T) {
+	path := journalWith(t, 4)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := reopen(t, path)
+	if err != nil {
+		t.Fatalf("bad final frame must read as a torn tail, got %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records survive, want 3", len(recs))
+	}
+}
+
+// TestJournalShapeMismatchRejected pins the header check.
+func TestJournalShapeMismatchRejected(t *testing.T) {
+	path := journalWith(t, 1)
+	other := testConfig()
+	other.Topology.Racks = 9
+	if _, _, err := openJournal(path, other); err == nil {
+		t.Fatal("journal from a different datacenter shape must be rejected")
+	}
+}
+
+// TestJournalNotAJournal pins the magic check.
+func TestJournalNotAJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	if err := os.WriteFile(path, []byte("definitely not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openJournal(path, testConfig()); err == nil {
+		t.Fatal("garbage file must be rejected")
+	}
+}

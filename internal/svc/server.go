@@ -1,0 +1,345 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"risa/internal/faults"
+	"risa/internal/units"
+	"risa/internal/workload"
+)
+
+// Server is the daemon's HTTP surface: handlers admit operations into
+// the queue, one worker goroutine drains it through the Engine, and
+// Shutdown drains gracefully. The worker is the engine's only caller,
+// which is the whole concurrency story — no engine locks, no torn
+// decisions.
+type Server struct {
+	eng *Engine
+	q   *queue
+
+	draining   atomic.Bool
+	expired    atomic.Int64
+	shed       atomic.Int64
+	workerDone chan struct{}
+}
+
+// NewServer wires a server over an open engine. queueCap bounds the
+// data lane (≤0 uses 256).
+func NewServer(eng *Engine, queueCap int) *Server {
+	if queueCap <= 0 {
+		queueCap = 256
+	}
+	return &Server{eng: eng, q: newQueue(queueCap), workerDone: make(chan struct{})}
+}
+
+// Start launches the worker loop. Call exactly once.
+func (s *Server) Start() { go s.worker() }
+
+// Shutdown drains gracefully: admission stops (new placements get 503),
+// queued work is served until ctx expires — whatever is still queued
+// then is answered 503 — and the engine closes with a final snapshot.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.q.close()
+	select {
+	case <-s.workerDone:
+	case <-ctx.Done():
+		s.q.rejectAll(http.StatusServiceUnavailable)
+		<-s.workerDone
+	}
+	return s.eng.Close()
+}
+
+// worker is the single engine writer: it pops queue items — control
+// lane first — applies them, and answers. Placement items whose context
+// expired while queued are dropped here with 504, before any journal or
+// scheduler work: never half-placed.
+func (s *Server) worker() {
+	defer close(s.workerDone)
+	for {
+		it := s.q.pop()
+		if it == nil {
+			return
+		}
+		if it.ctx != nil && it.ctx.Err() != nil {
+			s.expired.Add(1)
+			it.res <- response{status: http.StatusGatewayTimeout}
+			continue
+		}
+		switch it.kind {
+		case opPlace:
+			out, err := s.eng.Place(it.vm)
+			if err != nil {
+				it.res <- response{status: http.StatusInternalServerError, err: err}
+				continue
+			}
+			it.res <- response{status: http.StatusOK, outcome: &out}
+		case opMutate:
+			s.answer(it, s.eng.Mutate(it.fault), map[string]bool{"ok": true})
+		case opAddRack:
+			rack, err := s.eng.AddRack()
+			s.answer(it, err, map[string]int{"rack": rack, "in_service_racks": s.eng.InService()})
+		case opSwap:
+			s.answer(it, s.eng.Swap(it.algo), map[string]string{"algo": it.algo})
+		case opSnapshot:
+			s.answer(it, s.eng.WriteSnapshot(), map[string]bool{"ok": true})
+		case opStats:
+			it.res <- response{status: http.StatusOK, body: s.stats()}
+		case opPlacements:
+			var buf bytes.Buffer
+			if err := s.eng.WritePlacements(&buf); err != nil {
+				it.res <- response{status: http.StatusInternalServerError, err: err}
+				continue
+			}
+			it.res <- response{status: http.StatusOK, text: buf.Bytes()}
+		default:
+			it.res <- response{status: http.StatusInternalServerError, err: fmt.Errorf("svc: unknown op kind %d", it.kind)}
+		}
+	}
+}
+
+// answer maps an engine verdict onto a response: engine errors on the
+// operator endpoints are request problems (bad scope, unknown algorithm,
+// no spares), so they answer 400.
+func (s *Server) answer(it *item, err error, body any) {
+	if err != nil {
+		it.res <- response{status: http.StatusBadRequest, err: err}
+		return
+	}
+	it.res <- response{status: http.StatusOK, body: body}
+}
+
+// Stats is the GET /stats payload. Decision counters are recomputed
+// from the placement history, so they survive crash recovery exactly;
+// shed/expired counters are process-local backpressure telemetry.
+type Stats struct {
+	// Algo is the live scheduler algorithm.
+	Algo string `json:"algo"`
+	// Now is the engine's virtual time.
+	Now int64 `json:"now"`
+	// Resident is the number of VMs currently placed.
+	Resident int `json:"resident"`
+	// InServiceRacks and SpareRacks partition the cluster's racks.
+	InServiceRacks int `json:"in_service_racks"`
+	SpareRacks     int `json:"spare_racks"`
+	// QueueDepth is the data-lane occupancy.
+	QueueDepth int `json:"queue_depth"`
+	// Draining reports whether shutdown has begun.
+	Draining bool `json:"draining"`
+	// AcceptedByTier and RejectedByTier count decisions per VM tier.
+	AcceptedByTier [workload.NumTiers]int64 `json:"accepted_by_tier"`
+	RejectedByTier [workload.NumTiers]int64 `json:"rejected_by_tier"`
+	// Shed counts requests evicted by tier-aware backpressure; Expired
+	// counts requests dropped at dequeue past their deadline.
+	Shed    int64 `json:"shed"`
+	Expired int64 `json:"expired"`
+}
+
+// stats assembles the Stats payload (worker goroutine only: it reads
+// engine state).
+func (s *Server) stats() Stats {
+	st := Stats{
+		Algo:           s.eng.Algo(),
+		Now:            s.eng.Now(),
+		Resident:       s.eng.Resident(),
+		InServiceRacks: s.eng.InService(),
+		SpareRacks:     s.eng.Spares(),
+		QueueDepth:     s.q.depth(),
+		Draining:       s.draining.Load(),
+		Shed:           s.shed.Load(),
+		Expired:        s.expired.Load(),
+	}
+	for _, o := range s.eng.History() {
+		if o.Tier < 0 || o.Tier >= workload.NumTiers {
+			continue
+		}
+		if o.Accepted {
+			st.AcceptedByTier[o.Tier]++
+		} else {
+			st.RejectedByTier[o.Tier]++
+		}
+	}
+	return st
+}
+
+// PlaceRequest is the POST /place body. Resource amounts are in native
+// units (cores for CPU, GB for RAM and storage); Arrival and Lifetime
+// are virtual time (arrival earlier than the daemon's clock is clamped
+// forward). DeadlineMS, when positive, bounds the request's real queue
+// wait: past it the request is dropped undecided with 504.
+type PlaceRequest struct {
+	ID         int   `json:"id"`
+	Tier       int   `json:"tier"`
+	Arrival    int64 `json:"arrival"`
+	Lifetime   int64 `json:"lifetime"`
+	CPU        int64 `json:"cpu"`
+	RAM        int64 `json:"ram"`
+	Storage    int64 `json:"storage"`
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// MutateRequest is the POST /fail and POST /heal body: Scope is "box"
+// or "rack"; Box is required only for box scope.
+type MutateRequest struct {
+	Scope string `json:"scope"`
+	Rack  int    `json:"rack"`
+	Box   int    `json:"box"`
+}
+
+// SwapRequest is the POST /swap body.
+type SwapRequest struct {
+	Algo string `json:"algo"`
+}
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /place", s.handlePlace)
+	mux.HandleFunc("POST /fail", func(w http.ResponseWriter, r *http.Request) { s.handleMutate(w, r, false) })
+	mux.HandleFunc("POST /heal", func(w http.ResponseWriter, r *http.Request) { s.handleMutate(w, r, true) })
+	mux.HandleFunc("POST /addrack", func(w http.ResponseWriter, r *http.Request) {
+		s.control(w, &item{kind: opAddRack, res: make(chan response, 1)})
+	})
+	mux.HandleFunc("POST /swap", s.handleSwap)
+	mux.HandleFunc("POST /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		s.control(w, &item{kind: opSnapshot, res: make(chan response, 1)})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		s.control(w, &item{kind: opStats, res: make(chan response, 1)})
+	})
+	mux.HandleFunc("GET /placements", func(w http.ResponseWriter, r *http.Request) {
+		s.control(w, &item{kind: opPlacements, res: make(chan response, 1)})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handlePlace admits one placement request into the data lane and waits
+// for its verdict.
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req PlaceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	vm := workload.VM{
+		ID:       req.ID,
+		Arrival:  req.Arrival,
+		Lifetime: req.Lifetime,
+		Tier:     req.Tier,
+		Req:      units.Vec(units.Amount(req.CPU), units.Amount(req.RAM), units.Amount(req.Storage)),
+	}
+	if err := vm.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	it := &item{ctx: ctx, kind: opPlace, tier: vm.Tier, vm: vm, res: make(chan response, 1)}
+	if ok, hint := s.q.enqueueData(it); !ok {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(hint))
+		writeError(w, http.StatusTooManyRequests, "queue full")
+		return
+	}
+	resp := <-it.res
+	if resp.status == http.StatusTooManyRequests {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(resp.retryAfter))
+		writeError(w, resp.status, "shed by higher-priority load")
+		return
+	}
+	s.write(w, resp, func() any { return resp.outcome })
+}
+
+// handleMutate serves /fail and /heal through the control lane.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, repair bool) {
+	var req MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	ev := faults.Event{Repair: repair, Rack: req.Rack, Box: req.Box}
+	switch req.Scope {
+	case "box":
+		ev.Tier = faults.BoxTier
+	case "rack":
+		ev.Tier = faults.RackTier
+	default:
+		writeError(w, http.StatusBadRequest, "scope must be box or rack")
+		return
+	}
+	s.control(w, &item{kind: opMutate, fault: ev, res: make(chan response, 1)})
+}
+
+// handleSwap rides the data lane as a FIFO barrier: placements admitted
+// before it decide under the old algorithm, later ones under the new.
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var req SwapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	it := &item{kind: opSwap, tier: barrierTier, algo: req.Algo, res: make(chan response, 1)}
+	if ok, _ := s.q.enqueueData(it); !ok {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	resp := <-it.res
+	s.write(w, resp, func() any { return resp.body })
+}
+
+// control enqueues one control-lane item and writes its response.
+func (s *Server) control(w http.ResponseWriter, it *item) {
+	if !s.q.enqueueControl(it) {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	resp := <-it.res
+	s.write(w, resp, func() any { return resp.body })
+}
+
+// write renders one response: errors as {"error": ...}, text payloads
+// verbatim, everything else as JSON.
+func (s *Server) write(w http.ResponseWriter, resp response, body func() any) {
+	if resp.status != http.StatusOK {
+		msg := http.StatusText(resp.status)
+		if resp.err != nil {
+			msg = resp.err.Error()
+		}
+		writeError(w, resp.status, msg)
+		return
+	}
+	if resp.text != nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(resp.text)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body())
+}
+
+// writeError answers one error as a JSON object.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

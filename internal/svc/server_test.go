@@ -1,0 +1,189 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer opens an engine in a temp dir and serves it over
+// httptest. The cleanup shuts the worker down gracefully.
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	eng, err := Open(t.TempDir(), testConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(eng, 8)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("%s: bad JSON response: %v", url, err)
+	}
+	return resp, m
+}
+
+// TestServerEndToEnd drives the whole HTTP surface: placements land,
+// mutations and swaps succeed, stats and the placement log reflect it
+// all, and bad requests answer 400.
+func TestServerEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	for i := 1; i <= 5; i++ {
+		resp, m := post(t, ts.URL+"/place",
+			fmt.Sprintf(`{"id":%d,"tier":%d,"arrival":%d,"lifetime":500,"cpu":4,"ram":8,"storage":64}`, i, i%3, i*10))
+		if resp.StatusCode != 200 {
+			t.Fatalf("place %d: status %d (%v)", i, resp.StatusCode, m)
+		}
+		if m["Accepted"] != true {
+			t.Fatalf("place %d not accepted: %v", i, m)
+		}
+	}
+
+	// Idempotent retry: same ID returns the same decision.
+	_, first := post(t, ts.URL+"/place", `{"id":1,"tier":1,"arrival":10,"lifetime":500,"cpu":4,"ram":8,"storage":64}`)
+	if first["Seq"] != float64(1) {
+		t.Fatalf("retried place did not return the original outcome: %v", first)
+	}
+
+	if resp, m := post(t, ts.URL+"/fail", `{"scope":"rack","rack":2}`); resp.StatusCode != 200 {
+		t.Fatalf("fail: %d %v", resp.StatusCode, m)
+	}
+	if resp, m := post(t, ts.URL+"/heal", `{"scope":"rack","rack":2}`); resp.StatusCode != 200 {
+		t.Fatalf("heal: %d %v", resp.StatusCode, m)
+	}
+	if resp, _ := post(t, ts.URL+"/fail", `{"scope":"rack","rack":99}`); resp.StatusCode != 400 {
+		t.Fatalf("out-of-range fail answered %d, want 400", resp.StatusCode)
+	}
+	if resp, m := post(t, ts.URL+"/addrack", `{}`); resp.StatusCode != 200 || m["rack"] != float64(4) {
+		t.Fatalf("addrack: %d %v", resp.StatusCode, m)
+	}
+	if resp, _ := post(t, ts.URL+"/swap", `{"algo":"NULB"}`); resp.StatusCode != 200 {
+		t.Fatal("swap to NULB failed")
+	}
+	if resp, _ := post(t, ts.URL+"/swap", `{"algo":"NOPE"}`); resp.StatusCode != 400 {
+		t.Fatal("swap to unknown algorithm must answer 400")
+	}
+	if resp, _ := post(t, ts.URL+"/place", `{"id":100,"tier":0,"lifetime":0,"cpu":4,"ram":8,"storage":64}`); resp.StatusCode != 400 {
+		t.Fatal("invalid VM must answer 400 before touching the queue")
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Algo != "NULB" || st.Resident != 5 || st.InServiceRacks != 5 {
+		t.Fatalf("stats after the script: %+v", st)
+	}
+
+	resp, err = http.Get(ts.URL + "/placements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 || !strings.Contains(lines[0], "seq=1 vm=1") {
+		t.Fatalf("placement log:\n%s", buf.String())
+	}
+}
+
+// TestServerExpiredRequestDropped pins the deadline contract: a request
+// whose context expires while queued is answered 504 at dequeue and
+// never reaches the engine.
+func TestServerExpiredRequestDropped(t *testing.T) {
+	eng, err := Open(t.TempDir(), testConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(eng, 8)
+	// No Start yet: queue the item first, so its deadline lapses before
+	// the worker ever runs — deterministic, no sleep races.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	it := &item{ctx: ctx, kind: opPlace, tier: 0, res: make(chan response, 1)}
+	if ok, _ := s.q.enqueueData(it); !ok {
+		t.Fatal("enqueue failed")
+	}
+	s.Start()
+	select {
+	case resp := <-it.res:
+		if resp.status != http.StatusGatewayTimeout {
+			t.Fatalf("expired item answered %d, want 504", resp.status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("expired item never answered")
+	}
+	if len(eng.History()) != 0 {
+		t.Fatal("expired item reached the engine")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	s.Shutdown(shutCtx)
+}
+
+// TestServerDrain pins graceful shutdown: after Shutdown begins, new
+// placements answer 503 and the engine has written its final snapshot
+// (the next Open replays nothing).
+func TestServerDrain(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := Open(dir, testConfig(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(eng, 8)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, _ := post(t, ts.URL+"/place", `{"id":1,"tier":0,"lifetime":100,"cpu":1,"ram":1,"storage":0}`); resp.StatusCode != 200 {
+		t.Fatal("warm-up place failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if resp, _ := post(t, ts.URL+"/place", `{"id":2,"tier":0,"lifetime":100,"cpu":1,"ram":1,"storage":0}`); resp.StatusCode != 503 {
+		t.Fatal("placement after drain must answer 503")
+	}
+
+	// The final snapshot must carry the full state: reopen and compare.
+	eng2, err := Open(dir, testConfig(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.crash()
+	if len(eng2.History()) != 1 || eng2.Resident() != 1 {
+		t.Fatalf("reopened after graceful drain: %d decisions, %d resident", len(eng2.History()), eng2.Resident())
+	}
+}

@@ -1,0 +1,19 @@
+package svc
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// NotifyShutdown registers for SIGINT and SIGTERM and returns the
+// delivery channel plus a release function. It is the one signal
+// plumbing shared by the daemon (graceful drain, second signal forces
+// exit) and cmd/risasim (finish the current work, flush profiles and
+// pending snapshots before exiting). The channel is buffered for two
+// signals so a second, impatient signal is never dropped.
+func NotifyShutdown() (<-chan os.Signal, func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch, func() { signal.Stop(ch) }
+}

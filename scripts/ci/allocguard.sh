@@ -30,7 +30,7 @@ set -euo pipefail
 ITERS=${ITERS:-1000x}
 OUT=${OUT:-alloc-guard}
 BASELINE=${BASELINE:-scripts/ci/allocs-baseline.txt}
-HOT='BenchmarkScheduleOne$|BenchmarkScheduleOneAllocs|BenchmarkScheduleOneUnderFaults|BenchmarkScheduleOneResumed|BenchmarkScheduleOnePreempt|BenchmarkAllocateVM$|BenchmarkProposeCommit$'
+HOT='BenchmarkScheduleOne$|BenchmarkScheduleOneAllocs|BenchmarkScheduleOneUnderFaults|BenchmarkScheduleOneResumed|BenchmarkScheduleOnePreempt|BenchmarkDriverPlace|BenchmarkAllocateVM$|BenchmarkProposeCommit$'
 RUN='BenchmarkChurnSteadyState$|BenchmarkChurnAgents/agents4'
 
 mkdir -p "$OUT"
