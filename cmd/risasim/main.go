@@ -9,7 +9,7 @@
 //	risasim -exp fig5 -uplinks 4     # fabric provisioning ablation
 //	risasim -exp azure -parallel 8   # experiment grid on 8 workers
 //	risasim -exp all -parallel 1     # force strictly serial runs
-//	risasim -exp scale               # cluster-size sweep, 18 → 1152 racks
+//	risasim -exp scale               # cluster-size sweep, 18 → 16384 racks
 //	risasim -exp scale -racks 288    # sweep capped at 288 racks
 //	risasim -exp fig5 -racks 36      # any experiment on a larger cluster
 //	risasim -exp churn               # steady-state ladder, 100k arrivals/rung
@@ -247,7 +247,7 @@ func churnConfig(o options) experiments.ChurnConfig {
 }
 
 // scaleMaxRacks returns the largest point of the -exp scale ladder: the
-// -racks flag when given explicitly, the 1152-rack default otherwise.
+// -racks flag when given explicitly, the 16384-rack default otherwise.
 func scaleMaxRacks(o options) int {
 	if o.racksSet {
 		return o.racks
@@ -426,7 +426,7 @@ func record(results map[string]*sim.Result) {
 }
 
 // run executes one experiment name against the setup; scaleMax is the
-// largest point of the -exp scale ladder (≤ 0 selects the 1152-rack
+// largest point of the -exp scale ladder (≤ 0 selects the 16384-rack
 // default), churn the -exp churn configuration, faultsCfg the -exp
 // faults one and sloCfg the -exp slo one (zero values = default
 // ladders).

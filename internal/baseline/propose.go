@@ -49,7 +49,7 @@ func (z *zervas) Propose(vm workload.VM, shard sched.RackMask) (sched.Proposal, 
 		if r == resMax || vm.Req[r] == 0 {
 			continue
 		}
-		b := z.pickFromLevel(cl.Rack(home).BoxesOf(r), vm.Req[r])
+		b := z.pickFromLevel(cl.Rack(home), r, vm.Req[r])
 		if b == nil {
 			return p, false // needs a second rack: serial territory
 		}

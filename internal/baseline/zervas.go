@@ -33,12 +33,6 @@ type Masks [units.NumResources]sched.RackMask
 type zervas struct {
 	st   *sched.State
 	nalb bool // true → NALB: bandwidth-ordered BFS + max-avail links
-
-	// scratch holds the reusable BFS-level buffers (candidate boxes and,
-	// for NALB, their uplink-bandwidth sort keys); before it existed every
-	// bfsFind grew a fresh level slice and NALB's sort recomputed
-	// BoxUplinkFree once per comparison instead of once per box.
-	scratch sched.Scratch
 }
 
 // NewNULB returns the network-unaware locality-based scheduler bound to st.
@@ -132,18 +126,20 @@ func (z *zervas) ChooseMasked(vm workload.VM, masks Masks) (sched.BoxTriple, net
 // firstBox returns the first box in global order holding kind r with
 // enough free, honoring the rack mask. Candidate racks come from the
 // cluster-level index (ascending rack order, racks without a large-enough
-// box never surface), which leaves the box-level scan order (and thus the
-// chosen box) identical to a full rack-major sweep while skipping the
-// non-qualifying racks entirely.
+// box never surface) and the box-level test reads the rack's contiguous
+// visible-free vector, which leaves the scan order (and thus the chosen
+// box) identical to a full rack-major sweep over the box pointers while
+// skipping the non-qualifying racks entirely.
 func (z *zervas) firstBox(r units.Resource, need units.Amount, mask sched.RackMask) *topology.Box {
 	cl := z.st.Cluster
 	for ri := cl.NextRackWith(r, need, 0); ri >= 0; ri = cl.NextRackWith(r, need, ri+1) {
 		if !mask.Allows(ri) {
 			continue
 		}
-		for _, b := range cl.Rack(ri).BoxesOf(r) {
-			if b.Free() >= need {
-				return b
+		rack := cl.Rack(ri)
+		for i, f := range rack.FreeVecOf(r) {
+			if f >= need {
+				return rack.BoxesOf(r)[i]
 			}
 		}
 	}
@@ -152,20 +148,20 @@ func (z *zervas) firstBox(r units.Resource, need units.Amount, mask sched.RackMa
 
 // bfsFind searches for a box of kind r with enough free space, visiting
 // the home rack's boxes first and then every other rack (ascending index —
-// all racks are equidistant through the inter-rack switch). NALB reorders
-// each BFS level by descending available uplink bandwidth.
+// all racks are equidistant through the inter-rack switch). NALB takes
+// each BFS level in descending order of available uplink bandwidth.
 func (z *zervas) bfsFind(homeRack int, r units.Resource, need units.Amount, mask sched.RackMask) *topology.Box {
 	cl := z.st.Cluster
 	if mask.Allows(homeRack) {
-		if b := z.pickFromLevel(cl.Rack(homeRack).BoxesOf(r), need); b != nil {
+		if b := z.pickFromLevel(cl.Rack(homeRack), r, need); b != nil {
 			return b
 		}
 	}
 	// Second BFS level: all remaining racks, pruned through the
 	// cluster-level candidate index so only racks with a large-enough box
 	// contribute their boxes. Dropping boxes that could never be picked
-	// does not change the choice (NULB takes the first fitting box, NALB
-	// stable-sorts before the same test).
+	// does not change the choice (both policies only ever select a
+	// fitting box).
 	if !z.nalb {
 		// NULB scans the level in construction order, so it never needs
 		// the level materialized at all: the first fitting box in
@@ -174,62 +170,69 @@ func (z *zervas) bfsFind(homeRack int, r units.Resource, need units.Amount, mask
 			if ri == homeRack || !mask.Allows(ri) {
 				continue
 			}
-			for _, b := range cl.Rack(ri).BoxesOf(r) {
-				if b.Free() >= need {
-					return b
+			rack := cl.Rack(ri)
+			for i, f := range rack.FreeVecOf(r) {
+				if f >= need {
+					return rack.BoxesOf(r)[i]
 				}
 			}
 		}
 		return nil
 	}
-	level, keys := z.scratch.Boxes(), z.scratch.Keys()
+	// NALB's level order is descending uplink bandwidth with construction
+	// order breaking ties (the historical stable sort), and the pick is
+	// the first FITTING box in that order — equivalently, the fitting box
+	// with the maximum uplink bandwidth, earliest first among equals. The
+	// single max-scan below computes exactly that without materializing or
+	// sorting the level (the pre-SoA code built and stable-sorted every
+	// qualifying rack's boxes per decision, the dominant superlinear term
+	// in NALB's hyperscale decision time), and probes the fabric only for
+	// boxes that fit instead of for the whole level.
 	fab := z.st.Fabric
+	var chosen *topology.Box
+	var bestKey units.Bandwidth
 	for ri := cl.NextRackWith(r, need, 0); ri >= 0; ri = cl.NextRackWith(r, need, ri+1) {
 		if ri == homeRack || !mask.Allows(ri) {
 			continue
 		}
-		for _, b := range cl.Rack(ri).BoxesOf(r) {
-			level = append(level, b)
-			keys = append(keys, fab.BoxUplinkFree(b))
+		rack := cl.Rack(ri)
+		boxes := rack.BoxesOf(r)
+		for i, f := range rack.FreeVecOf(r) {
+			if f < need {
+				continue
+			}
+			if k := fab.BoxUplinkFree(boxes[i]); chosen == nil || k > bestKey {
+				chosen, bestKey = boxes[i], k
+			}
 		}
 	}
-	z.scratch.SetBoxes(level)
-	z.scratch.SetKeys(keys)
-	return z.pickSorted(level, keys, need)
+	return chosen
 }
 
-// pickFromLevel returns the first fitting box of one BFS level, after the
-// NALB bandwidth reordering when enabled. The level slice is never
-// mutated: NALB copies it into the scratch buffers first.
-func (z *zervas) pickFromLevel(level []*topology.Box, need units.Amount) *topology.Box {
-	if z.nalb && len(level) > 1 {
-		ordered, keys := z.scratch.Boxes(), z.scratch.Keys()
+// pickFromLevel returns the box one BFS level yields for kind res in one
+// rack: the first fitting box in index order for NULB, the fitting box
+// with the most available uplink bandwidth (ties to the earliest, the
+// stable-sort order) for NALB.
+func (z *zervas) pickFromLevel(rack *topology.Rack, res units.Resource, need units.Amount) *topology.Box {
+	free := rack.FreeVecOf(res)
+	if z.nalb {
 		fab := z.st.Fabric
-		for _, b := range level {
-			ordered = append(ordered, b)
-			keys = append(keys, fab.BoxUplinkFree(b))
+		boxes := rack.BoxesOf(res)
+		var chosen *topology.Box
+		var bestKey units.Bandwidth
+		for i, f := range free {
+			if f < need {
+				continue
+			}
+			if k := fab.BoxUplinkFree(boxes[i]); chosen == nil || k > bestKey {
+				chosen, bestKey = boxes[i], k
+			}
 		}
-		z.scratch.SetBoxes(ordered)
-		z.scratch.SetKeys(keys)
-		return z.pickSorted(ordered, keys, need)
+		return chosen
 	}
-	for _, b := range level {
-		if b.Free() >= need {
-			return b
-		}
-	}
-	return nil
-}
-
-// pickSorted stable-sorts the scratch level by descending precomputed
-// uplink bandwidth — the same order NALB's per-comparison probes produced,
-// at one fabric probe per box instead of per comparison — and returns its
-// first fitting box.
-func (z *zervas) pickSorted(level []*topology.Box, keys []units.Bandwidth, need units.Amount) *topology.Box {
-	z.scratch.SortBoxesByKeyDesc(level, keys)
-	for _, b := range level {
-		if b.Free() >= need {
-			return b
+	for i, f := range free {
+		if f >= need {
+			return rack.BoxesOf(res)[i]
 		}
 	}
 	return nil

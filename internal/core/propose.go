@@ -131,31 +131,24 @@ func (r *RISA) Propose(vm workload.VM, shard sched.RackMask) (sched.Proposal, bo
 }
 
 // proposeSuperRack is the read-only form of scheduleSuperRack: the same
-// SUPER_RACK masks, the same NULB box choice (MaskedScheduler's
-// ChooseMasked), but flows only feasibility-checked — the claim spans
-// every distinct rack the chosen boxes live in, so the commit-time
+// SUPER_RACK emptiness check, the same NULB box choice (MaskedScheduler's
+// ChooseMasked, unmasked — see scheduleSuperRack for why the explicit
+// masks were redundant), but flows only feasibility-checked — the claim
+// spans every distinct rack the chosen boxes live in, so the commit-time
 // generation check covers each of them.
 func (r *RISA) proposeSuperRack(vm workload.VM) (sched.Proposal, bool) {
 	var p sched.Proposal
 	cl := r.st.Cluster
 	fab := r.st.Fabric
-	var masks baseline.Masks
 	for _, res := range units.Resources() {
 		if vm.Req[res] == 0 {
 			continue
 		}
-		mask := r.scratch.Mask(res, cl.NumRacks())
-		any := false
-		for i := cl.NextRackWith(res, vm.Req[res], 0); i >= 0; i = cl.NextRackWith(res, vm.Req[res], i+1) {
-			mask[i] = true
-			any = true
-		}
-		if !any {
+		if cl.NextRackWith(res, vm.Req[res], 0) < 0 {
 			return p, false
 		}
-		masks[res] = mask
 	}
-	boxes, policy, err := r.fallback.ChooseMasked(vm, masks)
+	boxes, policy, err := r.fallback.ChooseMasked(vm, baseline.Masks{})
 	if err != nil {
 		return p, false
 	}

@@ -184,6 +184,12 @@ func (r *RISA) scheduleIntra(vm workload.VM) (a *sched.Assignment, poolSeen bool
 // fits (this is what the paper's Table 4 traces — see the boxCursor
 // comment). RISA-BF takes the fitting box with the least free space
 // (best-fit). First-fit and worst-fit exist for the packing ablation.
+//
+// All four policies scan the rack's visible-free vector (FreeVecOf) —
+// one contiguous amount slice in box-index order, equal element for
+// element to Free() over BoxesOf — and only dereference the single box
+// they choose, so the per-candidate cost is a handful of cache lines
+// regardless of cluster size.
 func (r *RISA) chooseBoxes(rack *topology.Rack, req units.Vector) (sched.BoxTriple, bool) {
 	var boxes sched.BoxTriple
 	cur := r.scratch.Cursors(rack.Index())
@@ -191,79 +197,74 @@ func (r *RISA) chooseBoxes(rack *topology.Rack, req units.Vector) (sched.BoxTrip
 		if req[res] == 0 {
 			continue
 		}
-		kindBoxes := rack.BoxesOf(res)
-		var chosen *topology.Box
+		free := rack.FreeVecOf(res)
+		chosen := -1
 		switch r.opts.Packing {
 		case BestFit:
-			for _, b := range kindBoxes {
-				if b.Free() < req[res] {
+			for i, f := range free {
+				if f < req[res] {
 					continue
 				}
-				if chosen == nil || b.Free() < chosen.Free() {
-					chosen = b
+				if chosen < 0 || f < free[chosen] {
+					chosen = i
 				}
 			}
 		case WorstFit:
-			for _, b := range kindBoxes {
-				if b.Free() < req[res] {
+			for i, f := range free {
+				if f < req[res] {
 					continue
 				}
-				if chosen == nil || b.Free() > chosen.Free() {
-					chosen = b
+				if chosen < 0 || f > free[chosen] {
+					chosen = i
 				}
 			}
 		case FirstFit:
-			for _, b := range kindBoxes {
-				if b.Free() >= req[res] {
-					chosen = b
+			for i, f := range free {
+				if f >= req[res] {
+					chosen = i
 					break
 				}
 			}
 		default: // NextFit — the paper's RISA
 			start := cur[res]
-			for k := 0; k < len(kindBoxes); k++ {
-				if b := kindBoxes[(start+k)%len(kindBoxes)]; b.Free() >= req[res] {
-					chosen = b
+			for k := 0; k < len(free); k++ {
+				if i := (start + k) % len(free); free[i] >= req[res] {
+					chosen = i
 					break
 				}
 			}
 		}
-		if chosen == nil {
+		if chosen < 0 {
 			return boxes, false
 		}
-		boxes[res] = chosen
+		boxes[res] = rack.BoxesOf(res)[chosen]
 	}
 	return boxes, true
 }
 
-// scheduleSuperRack builds the SUPER_RACK (per resource, the racks whose
-// best box could hold that component) and delegates to NULB restricted to
-// it, accepting an inter-rack placement.
+// scheduleSuperRack checks the SUPER_RACK (per resource, the racks whose
+// best box could hold that component) is non-empty and delegates to NULB,
+// accepting an inter-rack placement. The SUPER_RACK is never
+// materialized: NULB's own scans enumerate candidate racks through
+// NextRackWith with exactly the per-resource needs the masks were built
+// from, so a rack outside the SUPER_RACK can never surface in them — the
+// explicit masks the pre-SoA code built (O(racks) tree queries plus an
+// O(racks) mask clear per fallback decision) were bit-for-bit redundant.
+// The one observable the masks still carried is the per-resource
+// emptiness error, reproduced here by one O(log racks) candidate probe
+// per resource.
 func (r *RISA) scheduleSuperRack(vm workload.VM) (*sched.Assignment, error) {
 	cl := r.st.Cluster
-	var masks baseline.Masks
 	for _, res := range units.Resources() {
 		if vm.Req[res] == 0 {
 			continue
 		}
-		// Enumerate only the qualifying racks through the cluster-level
-		// candidate index; the resulting mask is identical to testing
-		// MaxFree on every rack. The mask buffers come from the scratch —
-		// one preallocated RackMask per resource, cleared here — and are
-		// valid only for the fallback call below.
-		mask := r.scratch.Mask(res, cl.NumRacks())
-		any := false
-		for i := cl.NextRackWith(res, vm.Req[res], 0); i >= 0; i = cl.NextRackWith(res, vm.Req[res], i+1) {
-			mask[i] = true
-			any = true
-		}
-		if !any {
+		if cl.NextRackWith(res, vm.Req[res], 0) < 0 {
 			return nil, fmt.Errorf("core: VM %d: SUPER_RACK empty for %v (need %d %s)",
 				vm.ID, res, vm.Req[res], res.Native())
 		}
-		masks[res] = mask
 	}
-	return r.fallback.ScheduleMasked(vm, masks)
+	return r.fallback.ScheduleMasked(vm, baseline.Masks{})
 }
 
 // Cursor exposes the round-robin position for tests and ablations.

@@ -14,18 +14,19 @@ import (
 // al. (the NULB/NALB source) frame disaggregated scheduling as a question
 // of fabric growth; the scale sweep answers it empirically: the same four
 // schedulers, the same synthetic workload family, on clusters from the
-// paper's 18 racks up to 64× that, with the offered load scaled
+// paper's 18 racks up to ~910× that (16384 racks ≈ 100k boxes), with the offered load scaled
 // proportionally so every cluster size runs at the same operating point.
 // The quantity under test is the per-VM decision time: with the
 // cluster-level candidate index it grows sublinearly in rack count.
 
 // DefaultScaleMaxRacks is the largest cluster of the default sweep ladder:
-// 64× the paper's 18 racks.
-const DefaultScaleMaxRacks = 1152
+// ~910× the paper's 18 racks — 16384 racks ≈ 100k boxes, the scale
+// Protean-class placement services operate at.
+const DefaultScaleMaxRacks = 16384
 
 // DefaultScaleVMsPerRack is the sweep's offered load per rack. The paper's
 // synthetic workload is 2500 VMs on 18 racks (≈139/rack); the sweep uses a
-// lighter density so the 1152-rack point stays inside a CI smoke budget
+// lighter density so the hyperscale points stay inside a smoke budget
 // while still pushing every cluster size to the same steady-state
 // utilization.
 const DefaultScaleVMsPerRack = 50

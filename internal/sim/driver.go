@@ -112,6 +112,47 @@ func (d *Driver) Place(vm workload.VM) (*sched.Assignment, int64, error) {
 	return a, t, nil
 }
 
+// BatchResult is one VM's outcome from PlaceBatch, carrying exactly what
+// the corresponding Place call would have returned.
+type BatchResult struct {
+	A   *sched.Assignment
+	T   int64
+	Err error
+}
+
+// PlaceBatch admits a burst of VMs in order, equivalent call for call to
+// invoking Place on each — same placements, same effective times, same
+// per-VM errors, invalid VMs rejected without advancing time. What the
+// batch amortizes is the departure-release sweep: Advance runs once per
+// distinct arrival instant instead of once per VM. The skip is provably
+// a no-op, not an approximation — the heap never holds a departure at or
+// before the current virtual time (every push lands at place-time plus a
+// positive lifetime, and time is monotone), so a repeated Advance to an
+// instant already reached could never pop anything.
+func (d *Driver) PlaceBatch(vms []workload.VM) []BatchResult {
+	out := make([]BatchResult, len(vms))
+	for i, vm := range vms {
+		if err := vm.Validate(); err != nil {
+			out[i] = BatchResult{T: d.lastT, Err: err}
+			continue
+		}
+		t := d.lastT
+		if vm.Arrival > t {
+			t = d.Advance(vm.Arrival)
+		}
+		a, err := d.sch.Schedule(vm)
+		if err != nil {
+			out[i] = BatchResult{T: t, Err: err}
+			continue
+		}
+		d.h.Push(event{t: t + vm.Lifetime, kind: departure, seq: d.seq, vm: vm, a: a})
+		d.seq++
+		d.resident++
+		out[i] = BatchResult{A: a, T: t}
+	}
+	return out
+}
+
 // Apply advances virtual time to the event's timestamp and applies one
 // box- or rack-scope failure or repair through the per-box outage
 // refcounts (a box returns to service only at the last covering repair).

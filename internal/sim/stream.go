@@ -98,6 +98,20 @@ type StreamConcurrency struct {
 	// propose barrier better; smaller rounds track capacity more
 	// closely.
 	Round int
+	// Batch coalesces every run of same-instant arrivals into one
+	// admission burst on the serial loop: the utilization sample behind
+	// the windowed averages is taken once at the end of the burst
+	// instead of after every arrival. The signal is piecewise-constant
+	// and time does not move inside a burst, so the intermediate samples
+	// the serial path takes are overwritten before any time is
+	// integrated against them — every placement, counter and window
+	// metric is bit-identical to the serial one-at-a-time oracle (the
+	// equivalence tests in stream_batch_test.go pin this). A workload
+	// that observes utilization (workload.UtilizationObserver) needs its
+	// feedback after every arrival, so such streams are never coalesced.
+	// Incompatible with agent mode, which batches through propose
+	// rounds already.
+	Batch bool
 }
 
 // StreamConfig parameterizes one open-ended steady-state run
@@ -160,6 +174,9 @@ func (c StreamConfig) Validate() error {
 	}
 	if c.Concurrency.Agents > 1 && c.Snapshot.At > 0 {
 		return fmt.Errorf("sim: agent mode (Agents=%d) is incompatible with snapshot capture", c.Concurrency.Agents)
+	}
+	if c.Concurrency.Batch && c.Concurrency.Agents > 1 {
+		return fmt.Errorf("sim: batch admission (Concurrency.Batch) is incompatible with agent mode (Agents=%d)", c.Concurrency.Agents)
 	}
 	return nil
 }
@@ -628,7 +645,7 @@ func (sr *streamRun) nextEventTime() int64 {
 // afterwards, unmetered). Fault events past the last arrival are
 // likewise never applied.
 func (sr *streamRun) loop() error {
-	r, res, wind := sr.r, sr.res, sr.wind
+	wind := sr.wind
 	for sr.more || sr.h.Len() > 0 {
 		if sr.snapAt > 0 && sr.snap == nil && sr.nextEventTime() >= sr.snapAt {
 			// The snapshot boundary: every event before Snapshot.At has been
@@ -664,63 +681,27 @@ func (sr *streamRun) loop() error {
 			sr.handleEvent(e, measured)
 			continue
 		}
-		if err := e.vm.Validate(); err != nil {
+		if err := sr.processArrival(e, measured); err != nil {
 			return err
 		}
-		res.Tiers[e.vm.Tier].TotalArrivals++
-		if measured {
-			res.Arrivals++
-			wind.cur.Arrivals++
-			res.Tiers[e.vm.Tier].Arrivals++
-			wind.cur.TierArrivals[e.vm.Tier]++
-		}
-		sr.admitSeq++
-		if r.retry && sr.wHead < len(sr.waiting) {
-			// Queue fairness: waiting VMs of equal or higher priority go
-			// first; the arrival joins the queue at its tier-order slot
-			// and is not sampled as a direct decision.
-			sr.admit(queuedVM{vm: e.vm, seq: sr.admitSeq})
-			res.Enqueued++
-			sr.drainQueue(e.t, measured)
-		} else {
-			start := time.Now()
-			a, err := r.sch.Schedule(e.vm)
-			d := time.Since(start)
-			res.SchedulingTime += d
-			if measured {
-				sr.lat.add(float64(d))
-				sr.tlat[e.vm.Tier].add(float64(d))
-			}
-			if err != nil && r.preempt && e.vm.Tier < workload.NumTiers-1 {
-				// Both placement tiers failed: a high-priority arrival may
-				// displace strictly-lower-tier victims (core.Preempt).
-				a, err = sr.tryPreempt(e.vm, e.t, measured)
-			}
-			if err != nil {
-				if r.retry {
-					sr.admit(queuedVM{vm: e.vm, seq: sr.admitSeq})
-					res.Enqueued++
-				} else {
-					res.TotalDropped++
-					res.Tiers[e.vm.Tier].TotalDropped++
-					if measured {
-						res.Dropped++
-						wind.cur.Dropped++
-						res.Tiers[e.vm.Tier].Dropped++
-					}
+		if sr.cfg.Concurrency.Batch && sr.obs == nil {
+			// Batch admission: the rest of a same-instant arrival burst is
+			// admitted before the utilization sample below. This is exact,
+			// not approximate: time does not move inside the burst
+			// (wind.advance at the same instant integrates nothing and the
+			// serial path's intermediate wind.set values are overwritten
+			// before any time passes), the snapshot boundary cannot fire
+			// mid-burst (its condition already held — or already fired —
+			// when the burst's first arrival was reached), and a departure
+			// pushed by a burst arrival lands strictly later than the
+			// burst (lifetimes are positive), so heapFirst keeps yielding
+			// the burst's arrivals exactly as the serial merge would. A
+			// utilization-observing stream needs feedback after every
+			// arrival and is never coalesced (the burst condition above).
+			for sr.more && sr.pending.Arrival == e.t && !heapFirst(&sr.h, sr.pending, sr.more) {
+				if err := sr.processArrival(sr.nextArrival(), measured); err != nil {
+					return err
 				}
-			} else {
-				res.TotalAccepted++
-				res.Tiers[e.vm.Tier].TotalAccepted++
-				sr.resident++
-				if measured {
-					res.Accepted++
-					wind.cur.Accepted++
-					res.Tiers[e.vm.Tier].Accepted++
-					wind.cur.TierAccepted[e.vm.Tier]++
-				}
-				sr.h.Push(event{t: e.t + e.vm.Lifetime, kind: departure, seq: sr.seq, vm: e.vm, a: a})
-				sr.seq++
 			}
 		}
 		perRes, binding := sr.utilNow()
@@ -732,6 +713,75 @@ func (sr *streamRun) loop() error {
 			break // the arrival just processed was the last: stop here
 		}
 	}
+	return nil
+}
+
+// processArrival admits one arrival event: counters, the placement
+// decision (or retry-queue admission), and the departure push. It is the
+// serial loop's arrival block, extracted so batch admission
+// (StreamConcurrency.Batch) can run it back to back over a same-instant
+// burst; the caller owns the post-arrival utilization sample.
+func (sr *streamRun) processArrival(e event, measured bool) error {
+	r, res, wind := sr.r, sr.res, sr.wind
+	if err := e.vm.Validate(); err != nil {
+		return err
+	}
+	res.Tiers[e.vm.Tier].TotalArrivals++
+	if measured {
+		res.Arrivals++
+		wind.cur.Arrivals++
+		res.Tiers[e.vm.Tier].Arrivals++
+		wind.cur.TierArrivals[e.vm.Tier]++
+	}
+	sr.admitSeq++
+	if r.retry && sr.wHead < len(sr.waiting) {
+		// Queue fairness: waiting VMs of equal or higher priority go
+		// first; the arrival joins the queue at its tier-order slot
+		// and is not sampled as a direct decision.
+		sr.admit(queuedVM{vm: e.vm, seq: sr.admitSeq})
+		res.Enqueued++
+		sr.drainQueue(e.t, measured)
+		return nil
+	}
+	start := time.Now()
+	a, err := r.sch.Schedule(e.vm)
+	d := time.Since(start)
+	res.SchedulingTime += d
+	if measured {
+		sr.lat.add(float64(d))
+		sr.tlat[e.vm.Tier].add(float64(d))
+	}
+	if err != nil && r.preempt && e.vm.Tier < workload.NumTiers-1 {
+		// Both placement tiers failed: a high-priority arrival may
+		// displace strictly-lower-tier victims (core.Preempt).
+		a, err = sr.tryPreempt(e.vm, e.t, measured)
+	}
+	if err != nil {
+		if r.retry {
+			sr.admit(queuedVM{vm: e.vm, seq: sr.admitSeq})
+			res.Enqueued++
+		} else {
+			res.TotalDropped++
+			res.Tiers[e.vm.Tier].TotalDropped++
+			if measured {
+				res.Dropped++
+				wind.cur.Dropped++
+				res.Tiers[e.vm.Tier].Dropped++
+			}
+		}
+		return nil
+	}
+	res.TotalAccepted++
+	res.Tiers[e.vm.Tier].TotalAccepted++
+	sr.resident++
+	if measured {
+		res.Accepted++
+		wind.cur.Accepted++
+		res.Tiers[e.vm.Tier].Accepted++
+		wind.cur.TierAccepted[e.vm.Tier]++
+	}
+	sr.h.Push(event{t: e.t + e.vm.Lifetime, kind: departure, seq: sr.seq, vm: e.vm, a: a})
+	sr.seq++
 	return nil
 }
 

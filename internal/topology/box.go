@@ -28,6 +28,7 @@ type Box struct {
 	rack   int            // rack index within the cluster
 	index  int            // box index within the rack (across all kinds)
 	kindIx int            // box index among boxes of the same kind in the rack
+	visIx  int            // dense per-kind cluster id: rack*BoxKindCount(kind)+kindIx
 	kind   units.Resource // the single resource this box holds
 	bricks []Brick
 	free   units.Amount // cached sum of brick free amounts

@@ -9,10 +9,17 @@ import (
 // Rack groups the boxes that share one intra-rack optical switch.
 type Rack struct {
 	index  int
-	boxes  []*Box                        // all boxes, in intra-rack index order
-	byKind [units.NumResources][]*Box    // same boxes grouped by resource kind
-	idx    [units.NumResources]kindIndex // incremental free-capacity index
-	gen    uint64                        // compute generation (see Gen)
+	boxes  []*Box                     // all boxes, in intra-rack index order
+	byKind [units.NumResources][]*Box // same boxes grouped by resource kind
+	// vis is the rack's window into the cluster's per-kind visible-free
+	// vectors (Cluster.vis): vis[k][i] == byKind[k][i].Free() at all times.
+	// The hot box scans (kindIndex.rescan, the packing policies, the BFS
+	// levels) read these contiguous amounts instead of chasing the box
+	// pointers, which is what keeps the per-decision cost flat at
+	// hyperscale rack counts.
+	vis [units.NumResources][]units.Amount
+	idx [units.NumResources]kindIndex // incremental free-capacity index
+	gen uint64                        // compute generation (see Gen)
 }
 
 // Index returns the rack's position in the cluster.
@@ -26,6 +33,13 @@ func (r *Rack) Boxes() []*Box { return r.boxes }
 // shared; callers must not modify it.
 func (r *Rack) BoxesOf(k units.Resource) []*Box { return r.byKind[k] }
 
+// FreeVecOf returns the rack's visible-free vector for kind k:
+// FreeVecOf(k)[i] == BoxesOf(k)[i].Free() (0 while the box is failed),
+// maintained on every mutation. The slice is shared and read-only for
+// callers; it aliases the cluster-wide vector (Cluster.FreeVec), so the
+// structure-of-arrays scan order equals the box-pointer scan order.
+func (r *Rack) FreeVecOf(k units.Resource) []units.Amount { return r.vis[k] }
+
 // MaxFree returns the largest free amount of kind k available in any single
 // box of the rack, and the earliest box attaining it (nil when nothing is
 // free). RISA's INTRA_RACK_POOL test is built on this: a rack can host a
@@ -35,7 +49,7 @@ func (r *Rack) BoxesOf(k units.Resource) []*Box { return r.byKind[k] }
 func (r *Rack) MaxFree(k units.Resource) (units.Amount, *Box) {
 	ix := &r.idx[k]
 	if ix.dirty {
-		ix.rescan(r.byKind[k])
+		ix.rescan(r.byKind[k], r.vis[k])
 	}
 	return ix.max, ix.best
 }
@@ -66,6 +80,17 @@ type Cluster struct {
 	free  units.Vector
 	cap   units.Vector
 
+	// vis is the structure-of-arrays mirror of the boxes' visible free
+	// amounts: per resource kind, one contiguous vector indexed by the
+	// dense per-kind box id (Box.visIx = rack*BoxKindCount(kind)+kindIx),
+	// holding exactly Box.Free() — the unallocated amount, or 0 while the
+	// box is failed. Every mutation that changes a box's visible free
+	// amount syncs its slot (syncVis), so the decision-loop scans read
+	// cache-line-packed amounts instead of walking box pointers. The
+	// regular per-rack box layout (Config) is what makes the dense id
+	// well-defined.
+	vis [units.NumResources][]units.Amount
+
 	// cidx is the cluster-level candidate index: per resource kind, a
 	// max-tree over rack indices bounding each rack's cached MaxFree, so
 	// schedulers can enumerate qualifying racks without scanning all of
@@ -81,16 +106,22 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg}
+	for _, kind := range units.Resources() {
+		c.vis[kind] = make([]units.Amount, cfg.Racks*cfg.BoxKindCount(kind))
+	}
 	for ri := 0; ri < cfg.Racks; ri++ {
 		rack := &Rack{index: ri}
 		idx := 0
 		for _, kind := range units.Resources() {
 			brickCap := cfg.BrickCapacity(kind)
-			for ki := 0; ki < cfg.BoxKindCount(kind); ki++ {
+			perKind := cfg.BoxKindCount(kind)
+			rack.vis[kind] = c.vis[kind][ri*perKind : (ri+1)*perKind : (ri+1)*perKind]
+			for ki := 0; ki < perKind; ki++ {
 				box := &Box{
 					rack:   ri,
 					index:  idx,
 					kindIx: ki,
+					visIx:  ri*perKind + ki,
 					kind:   kind,
 					bricks: make([]Brick, cfg.BricksPerBox),
 				}
@@ -99,6 +130,7 @@ func New(cfg Config) (*Cluster, error) {
 				}
 				box.cap = brickCap * units.Amount(cfg.BricksPerBox)
 				box.free = box.cap
+				c.vis[kind][box.visIx] = box.free
 				rack.boxes = append(rack.boxes, box)
 				rack.byKind[kind] = append(rack.byKind[kind], box)
 				c.boxes = append(c.boxes, box)
@@ -113,6 +145,17 @@ func New(cfg Config) (*Cluster, error) {
 	c.initCandidateIndex()
 	return c, nil
 }
+
+// syncVis refreshes b's slot in the visible-free vectors after a mutation
+// of its free amount or failure flag. It is the single write point of the
+// structure-of-arrays mirror.
+func (c *Cluster) syncVis(b *Box) { c.vis[b.kind][b.visIx] = b.Free() }
+
+// FreeVec returns the cluster-wide visible-free vector for kind k,
+// indexed by the dense per-kind box id rack*BoxKindCount(k)+kindIx.
+// FreeVec(k)[id] == that box's Free() at all times. The slice is shared
+// and read-only for callers.
+func (c *Cluster) FreeVec(k units.Resource) []units.Amount { return c.vis[k] }
 
 // Config returns the configuration the cluster was built from.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -174,6 +217,7 @@ func (c *Cluster) AllocateInto(box *Box, amount units.Amount, buf []BrickShare) 
 		return Placement{}, err
 	}
 	c.free[box.kind] -= amount
+	c.syncVis(box)
 	c.racks[box.rack].noteDecrease(box, amount)
 	return p, nil
 }
@@ -189,6 +233,7 @@ func (c *Cluster) Release(p Placement) {
 	p.Box.release(p)
 	if !p.Box.failed {
 		c.free[p.Box.kind] += p.Total
+		c.syncVis(p.Box)
 		c.noteRackIncrease(p.Box, p.Total)
 	}
 }
@@ -211,6 +256,7 @@ func (c *Cluster) SetBoxFailed(b *Box, failed bool) {
 		return
 	}
 	b.failed = failed
+	c.syncVis(b)
 	if failed {
 		c.free[b.kind] -= b.free
 		c.racks[b.rack].noteDecrease(b, b.free)
@@ -228,7 +274,7 @@ func (c *Cluster) reseedOnRepair(b *Box) {
 	rack.gen++
 	ix := &rack.idx[b.kind]
 	ix.total += b.free
-	ix.rescan(rack.byKind[b.kind])
+	ix.rescan(rack.byKind[b.kind], rack.vis[b.kind])
 	c.cidx[b.kind].set(b.rack, ix.max)
 }
 
@@ -305,6 +351,20 @@ func (c *Cluster) CheckInvariants() error {
 			free[b.kind] += b.free
 		}
 		cap[b.kind] += b.cap
+		// The structure-of-arrays mirror must hold exactly the box's
+		// visible free amount at its dense per-kind id.
+		if want := c.cfg.BoxKindCount(b.kind)*b.rack + b.kindIx; b.visIx != want {
+			return fmt.Errorf("%v dense id %d != %d", b, b.visIx, want)
+		}
+		if got := c.vis[b.kind][b.visIx]; got != b.Free() {
+			return fmt.Errorf("%v free vector holds %d, box visible free is %d", b, got, b.Free())
+		}
+	}
+	for _, k := range units.Resources() {
+		if len(c.vis[k]) != c.cfg.BoxKindCount(k)*len(c.racks) {
+			return fmt.Errorf("%v free vector has %d slots for %d boxes",
+				k, len(c.vis[k]), c.cfg.BoxKindCount(k)*len(c.racks))
+		}
 	}
 	if free != c.free {
 		return fmt.Errorf("cluster free %v != box sum %v", c.free, free)
@@ -340,20 +400,8 @@ func (c *Cluster) CheckInvariants() error {
 		}
 	}
 	for _, k := range units.Resources() {
-		t := &c.cidx[k]
-		for x := 1; x < t.size; x++ {
-			m := t.node[2*x]
-			if r := t.node[2*x+1]; r > m {
-				m = r
-			}
-			if t.node[x] != m {
-				return fmt.Errorf("%v candidate tree node %d = %d, children max %d", k, x, t.node[x], m)
-			}
-		}
-		for i := t.n; i < t.size; i++ {
-			if t.leaf(i) != unusedLeaf {
-				return fmt.Errorf("%v candidate tree padding leaf %d = %d", k, i, t.leaf(i))
-			}
+		if err := c.cidx[k].checkTree(); err != nil {
+			return fmt.Errorf("%v candidate tree: %w", k, err)
 		}
 	}
 	return nil

@@ -64,21 +64,35 @@ func FuzzClusterIndex(f *testing.F) {
 }
 
 // checkIndexAgainstBruteForce compares every indexed query against a
-// direct scan of the boxes.
+// direct scan of the boxes: the cached rack totals and maxima, the SoA
+// visible-free vectors (rack views and the cluster-wide slice, element
+// for element against Free()), the candidate tree behind NextRackWith,
+// and the whole-VM leapfrog behind NextRackFits.
 func checkIndexAgainstBruteForce(t *testing.T, c *Cluster, op int, need units.Amount) {
 	t.Helper()
 	for _, k := range units.Resources() {
 		firstFit := -1
+		vec := c.FreeVec(k)
+		off := 0
 		for _, rack := range c.Racks() {
 			var total, max units.Amount
 			var best *Box
-			for _, b := range rack.BoxesOf(k) {
+			rv := rack.FreeVecOf(k)
+			for i, b := range rack.BoxesOf(k) {
 				f := b.Free()
 				total += f
 				if f > max {
 					max, best = f, b
 				}
+				if rv[i] != f {
+					t.Fatalf("op %d: rack %d FreeVecOf(%v)[%d] = %d, Free %d",
+						op, rack.Index(), k, i, rv[i], f)
+				}
+				if vec[off+i] != f {
+					t.Fatalf("op %d: FreeVec(%v)[%d] = %d, Free %d", op, k, off+i, vec[off+i], f)
+				}
 			}
+			off += len(rack.BoxesOf(k))
 			if got := rack.Free(k); got != total {
 				t.Fatalf("op %d: rack %d Free(%v) = %d, scan %d", op, rack.Index(), k, got, total)
 			}
@@ -93,5 +107,18 @@ func checkIndexAgainstBruteForce(t *testing.T, c *Cluster, op int, need units.Am
 		if got := c.NextRackWith(k, need, 0); got != firstFit {
 			t.Fatalf("op %d: NextRackWith(%v, %d) = %d, scan %d", op, k, need, got, firstFit)
 		}
+	}
+	// NextRackFits' leapfrog against a linear FitsWholeVM scan (the rack
+	// maxima it reads were verified against the box scan above).
+	req := units.Vec(need, need, need)
+	want := -1
+	for _, rack := range c.Racks() {
+		if rack.FitsWholeVM(req) {
+			want = rack.Index()
+			break
+		}
+	}
+	if got := c.NextRackFits(req, 0); got != want {
+		t.Fatalf("op %d: NextRackFits(%v, 0) = %d, scan %d", op, req, got, want)
 	}
 }

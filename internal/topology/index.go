@@ -25,11 +25,15 @@ type kindIndex struct {
 }
 
 // rescan rebuilds max/best from a brute-force scan in box-index order.
-func (ix *kindIndex) rescan(boxes []*Box) {
+// The scan reads the rack's visible-free vector (vis[i] == boxes[i].Free()
+// by the structure-of-arrays invariant) so it walks one contiguous amount
+// slice instead of chasing the box pointers; the earliest strictly-greater
+// argmax is the same either way.
+func (ix *kindIndex) rescan(boxes []*Box, vis []units.Amount) {
 	ix.max, ix.best = 0, nil
-	for _, b := range boxes {
-		if f := b.Free(); f > ix.max {
-			ix.max, ix.best = f, b
+	for i, f := range vis {
+		if f > ix.max {
+			ix.max, ix.best = f, boxes[i]
 		}
 	}
 	ix.dirty = false
@@ -43,7 +47,7 @@ func (r *Rack) initIndex() {
 		for _, b := range r.byKind[k] {
 			ix.total += b.Free()
 		}
-		ix.rescan(r.byKind[k])
+		ix.rescan(r.byKind[k], r.vis[k])
 	}
 }
 

@@ -27,7 +27,7 @@ func (c *Cluster) Settle() {
 		for _, k := range units.Resources() {
 			ix := &rack.idx[k]
 			if ix.dirty {
-				ix.rescan(rack.byKind[k])
+				ix.rescan(rack.byKind[k], rack.vis[k])
 			}
 			c.cidx[k].set(i, ix.max)
 		}

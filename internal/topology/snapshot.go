@@ -38,6 +38,7 @@ func (c *Cluster) RestorePlacement(b *Box, shares []BrickShare) (Placement, erro
 	}
 	b.free -= total
 	c.free[b.kind] -= total
+	c.syncVis(b)
 	c.racks[b.rack].noteDecrease(b, total)
 	p := Placement{Box: b, Total: total}
 	p.Shares = append(p.Shares, shares...)

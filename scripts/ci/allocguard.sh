@@ -32,6 +32,13 @@ OUT=${OUT:-alloc-guard}
 BASELINE=${BASELINE:-scripts/ci/allocs-baseline.txt}
 HOT='BenchmarkScheduleOne$|BenchmarkScheduleOneAllocs|BenchmarkScheduleOneUnderFaults|BenchmarkScheduleOneResumed|BenchmarkScheduleOnePreempt|BenchmarkDriverPlace|BenchmarkAllocateVM$|BenchmarkProposeCommit$'
 RUN='BenchmarkChurnSteadyState$|BenchmarkChurnAgents/agents4'
+# The SoA hot path at hyperscale: the same zero-alloc contract on the
+# 16384-rack (~100k box) cluster, where a stray per-decision allocation
+# would also be a cache-behavior regression. NALB is pinned at 1152 racks
+# instead — its global best-uplink scan is Θ(fitting boxes) by definition,
+# so its 16k pre-load alone (~450k NALB decisions) would dominate the job.
+SCALE='BenchmarkScheduleOneScale$/^racks=16384$/^(NULB|RISA|RISA-BF)$'
+SCALE_NALB='BenchmarkScheduleOneScale$/^racks=1152$/^NALB$'
 
 mkdir -p "$OUT"
 : >"$OUT/measured.txt"
@@ -54,6 +61,14 @@ go test -run '^$' -bench "$RUN" -benchmem -benchtime 1x -count 1 . \
   | tee -a "$OUT/bench.txt" \
   | { grep -E '^Benchmark' || true; } \
   | awk "$normalize" >>"$OUT/measured.txt"
+
+echo "== allocguard: hyperscale decision benchmarks ($ITERS)"
+for pat in "$SCALE" "$SCALE_NALB"; do
+  go test -run '^$' -bench "$pat" -benchmem -benchtime "$ITERS" -count 1 . \
+    | tee -a "$OUT/bench.txt" \
+    | { grep -E '^Benchmark' || true; } \
+    | awk "$normalize" >>"$OUT/measured.txt"
+done
 
 awk '
   FNR == NR {
